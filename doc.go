@@ -1,0 +1,26 @@
+// Package aedbmls reproduces "A Parallel Multi-objective Local Search for
+// AEDB Protocol Tuning" (Iturriaga, Ruiz, Nesmachnow, Dorronsoro, Bouvry —
+// IPDPS Workshops 2013).
+//
+// The repository contains, built from scratch on the standard library:
+//
+//   - a discrete-event MANET simulator (internal/sim, internal/manet,
+//     internal/mobility, internal/radio) standing in for ns-3;
+//   - the AEDB energy-aware broadcasting protocol (internal/aedb) plus
+//     flooding and distance-based baselines;
+//   - the five-parameter tuning problem evaluated on a fixed committee of
+//     ten networks (internal/eval);
+//   - a multi-objective optimisation toolkit: constrained Pareto dominance,
+//     Adaptive Grid Archiving, quality indicators, Wilcoxon tests
+//     (internal/moo, internal/archive, internal/indicators, internal/stats);
+//   - the paper's contribution, the parallel multi-objective local search
+//     AEDB-MLS (internal/core), and the two reference MOEAs NSGA-II
+//     (internal/nsga2) and CellDE (internal/cellde);
+//   - the Fast99 extended-FAST sensitivity analysis used to design the
+//     local-search operators (internal/fast99);
+//   - experiment drivers regenerating every table and figure of the paper
+//     (internal/experiments, cmd/aedb-experiments, bench_test.go).
+//
+// See README.md for a quickstart and DESIGN.md for the full system
+// inventory and per-experiment index.
+package aedbmls

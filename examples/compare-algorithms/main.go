@@ -1,0 +1,38 @@
+// Algorithm comparison: AEDB-MLS against the two reference MOEAs
+// (NSGA-II and CellDE) on the same tuning problem, scored with the
+// paper's indicators (spread, IGD, hypervolume) and wall-clock time —
+// a single-density miniature of the paper's Sect. VI study.
+//
+// Run with:
+//
+//	go run ./examples/compare-algorithms
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"aedbmls/internal/experiments"
+)
+
+func main() {
+	sc := experiments.TinyScale()
+	sc.Runs = 3
+
+	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	rs, err := experiments.RunAll(sc, 100, logf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fronts := experiments.BuildFronts(rs, 100)
+	fmt.Println(fronts.RenderFigure6())
+
+	metrics := experiments.ComputeMetrics(rs)
+	fmt.Println(metrics.RenderFigure7())
+	fmt.Println(experiments.RenderTableIV([]*experiments.MetricsResult{metrics}))
+
+	timing := experiments.ComputeTiming(sc, rs)
+	fmt.Println(timing.Render())
+}

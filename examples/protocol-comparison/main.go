@@ -1,0 +1,51 @@
+// Protocol comparison: the scenario that motivates AEDB — blind flooding
+// covers the network but wastes energy and floods the medium; plain
+// distance-based broadcasting prunes forwarders but still transmits at
+// full power; AEDB adapts the transmission power per hop and saves energy
+// at comparable coverage.
+//
+// The example replays the same 10 frozen networks (the paper's evaluation
+// committee) under all three protocols for each density.
+//
+// Run with:
+//
+//	go run ./examples/protocol-comparison
+package main
+
+import (
+	"fmt"
+
+	"aedbmls/internal/aedb"
+	"aedbmls/internal/eval"
+	"aedbmls/internal/manet"
+)
+
+func main() {
+	params := aedb.Params{
+		MinDelay: 0.05, MaxDelay: 0.4,
+		BorderThresholdDBm: -82, MarginDBm: 1.0, NeighborsThreshold: 12,
+	}
+	fmt.Printf("AEDB parameters: %+v\n\n", params)
+	fmt.Printf("%-8s %-10s %-10s %-10s %-12s %-10s %-10s\n",
+		"density", "protocol", "coverage", "forwards", "energy(dBm)", "mJ", "bt(s)")
+
+	for _, density := range []int{100, 200, 300} {
+		problem := eval.NewProblem(density, 7)
+		protocols := []struct {
+			name    string
+			factory func(*manet.Node) manet.Protocol
+		}{
+			{"flooding", aedb.NewFlooding(params.MinDelay, params.MaxDelay)},
+			{"distance", aedb.NewDistanceBroadcast(params.MinDelay, params.MaxDelay, params.BorderThresholdDBm)},
+			{"aedb", aedb.New(params)},
+		}
+		for _, p := range protocols {
+			m := problem.SimulateProtocol(p.factory)
+			fmt.Printf("%-8d %-10s %-10.1f %-10.1f %-12.1f %-10.4f %-10.3f\n",
+				density, p.name, m.Coverage, m.Forwardings, m.EnergyDBmSum, m.EnergyMJ, m.BroadcastTime)
+		}
+		fmt.Println()
+	}
+	fmt.Println("AEDB trades a little coverage for large energy and forwarding savings —")
+	fmt.Println("the trade-off the paper tunes with multi-objective search.")
+}

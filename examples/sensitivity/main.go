@@ -1,0 +1,37 @@
+// Sensitivity analysis example: which AEDB parameters actually matter?
+//
+// Reproduces a reduced version of the paper's Fig. 2 / Table I: a Fast99
+// variance decomposition of the four broadcast metrics over the five
+// protocol parameters. The headline findings — delays drive the broadcast
+// time, border/neighbors thresholds drive energy and forwardings, the
+// margin barely matters — come out of the analysis and justify the
+// AEDB-MLS search criteria.
+//
+// Run with:
+//
+//	go run ./examples/sensitivity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aedbmls/internal/experiments"
+)
+
+func main() {
+	sc := experiments.TinyScale()
+	sc.SensitivityN = 65 // smallest valid Fast99 layout (M=4)
+	sc.Committee = 5
+
+	res, err := experiments.Sensitivity(sc, 100, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.RenderFigure2())
+	fmt.Println(res.RenderTableI())
+
+	factor, total := res.MostInfluential("broadcast_time")
+	fmt.Printf("\nmost influential factor on broadcast time: %s (total-order index %.2f)\n", factor, total)
+	fmt.Println("these findings define the three AEDB-MLS search criteria (core.DefaultAEDBCriteria).")
+}

@@ -1,0 +1,388 @@
+// Package aedb implements the Adaptive Enhanced Distance-Based broadcasting
+// protocol (AEDB, Ruiz & Bouvry 2010) exactly as specified by the
+// pseudocode in Fig. 1 of the reproduced paper, plus two simpler baselines
+// (blind flooding and non-adaptive distance-based broadcasting) used in
+// examples and ablations.
+//
+// AEDB in one paragraph: a node receiving a broadcast message becomes a
+// forwarding candidate only if the strongest copy it has heard arrived
+// weaker than the border threshold (it sits in the "forwarding area", far
+// from every known sender). Candidates wait a random delay, keep listening
+// — additional copies update the strongest-power bookkeeping and may
+// disqualify them — and, if still candidates when the timer fires, forward
+// with a reduced transmission power estimated from beacon signal strengths:
+// enough to reach the furthest neighbor (sparse regime) or, when more than
+// neighbors-threshold devices sit in the forwarding area, only the
+// forwarding-area neighbor closest to the sender (dense regime), plus a
+// mobility safety margin.
+package aedb
+
+import (
+	"fmt"
+
+	"aedbmls/internal/manet"
+	"aedbmls/internal/radio"
+	"aedbmls/internal/sim"
+)
+
+// Parameter vector indices, shared with the optimisers.
+const (
+	IdxMinDelay = iota
+	IdxMaxDelay
+	IdxBorderThreshold
+	IdxMarginThreshold
+	IdxNeighborsThreshold
+	NumParams
+)
+
+// ParamNames are the canonical parameter names, indexed by Idx constants.
+var ParamNames = [NumParams]string{
+	"min_delay", "max_delay", "border_threshold", "margin_threshold", "neighbors_threshold",
+}
+
+// Params is an AEDB configuration: the five tuned variables of the paper.
+type Params struct {
+	MinDelay           float64 // s, lower bound of the forwarding delay
+	MaxDelay           float64 // s, upper bound of the forwarding delay
+	BorderThresholdDBm float64 // forwarding-area limit on received power
+	MarginDBm          float64 // mobility margin added to the power estimate
+	NeighborsThreshold float64 // forwarding-area population that triggers the dense regime
+}
+
+// Vector returns the parameter vector in canonical order.
+func (p Params) Vector() []float64 {
+	return []float64{p.MinDelay, p.MaxDelay, p.BorderThresholdDBm, p.MarginDBm, p.NeighborsThreshold}
+}
+
+// FromVector builds Params from a canonical-order vector.
+func FromVector(x []float64) Params {
+	if len(x) != NumParams {
+		panic(fmt.Sprintf("aedb: FromVector needs %d values, got %d", NumParams, len(x)))
+	}
+	return Params{
+		MinDelay:           x[IdxMinDelay],
+		MaxDelay:           x[IdxMaxDelay],
+		BorderThresholdDBm: x[IdxBorderThreshold],
+		MarginDBm:          x[IdxMarginThreshold],
+		NeighborsThreshold: x[IdxNeighborsThreshold],
+	}
+}
+
+// DelayInterval returns the normalised [lo, hi] waiting interval. The two
+// delay variables are searched independently over different ranges (Table
+// III), so MaxDelay may come out below MinDelay; the interval is the span
+// between them.
+func (p Params) DelayInterval() (lo, hi float64) {
+	if p.MinDelay <= p.MaxDelay {
+		return p.MinDelay, p.MaxDelay
+	}
+	return p.MaxDelay, p.MinDelay
+}
+
+// Domain is a box of valid parameter vectors.
+type Domain struct {
+	Lo, Hi [NumParams]float64
+}
+
+// DefaultDomain is the optimisation search space of Table III.
+func DefaultDomain() Domain {
+	return Domain{
+		Lo: [NumParams]float64{0, 0, -95, 0, 0},
+		Hi: [NumParams]float64{1, 5, -70, 3, 50},
+	}
+}
+
+// SensitivityDomain is the wider box used for the Fast99 sensitivity
+// analysis in Sect. III-B of the paper (delays up to 5 s, border threshold
+// across the whole receivable band, margin up to 16.2 dBm, neighbors
+// threshold up to 100).
+func SensitivityDomain() Domain {
+	return Domain{
+		Lo: [NumParams]float64{0, 0, -95, 0, 0},
+		Hi: [NumParams]float64{5, 5, 0, 16.2, 100},
+	}
+}
+
+// Bounds returns the domain as slices (for the moo.Problem interface).
+func (d Domain) Bounds() (lo, hi []float64) {
+	lo = append(lo, d.Lo[:]...)
+	hi = append(hi, d.Hi[:]...)
+	return lo, hi
+}
+
+// Clamp returns p with every parameter clipped into the domain box.
+func (d Domain) Clamp(p Params) Params {
+	x := p.Vector()
+	for i := range x {
+		if x[i] < d.Lo[i] {
+			x[i] = d.Lo[i]
+		}
+		if x[i] > d.Hi[i] {
+			x[i] = d.Hi[i]
+		}
+	}
+	return FromVector(x)
+}
+
+// Contains reports whether p lies inside the domain box.
+func (d Domain) Contains(p Params) bool {
+	x := p.Vector()
+	for i := range x {
+		if x[i] < d.Lo[i] || x[i] > d.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate reports structurally invalid parameters (negative delays or
+// margin). Out-of-domain values are legal at the protocol level — Clamp is
+// the optimiser's job.
+func (p Params) Validate() error {
+	if p.MinDelay < 0 || p.MaxDelay < 0 {
+		return fmt.Errorf("aedb: negative delay (%g, %g)", p.MinDelay, p.MaxDelay)
+	}
+	if p.MarginDBm < 0 {
+		return fmt.Errorf("aedb: negative margin %g", p.MarginDBm)
+	}
+	if p.NeighborsThreshold < 0 {
+		return fmt.Errorf("aedb: negative neighbors threshold %g", p.NeighborsThreshold)
+	}
+	return nil
+}
+
+// msgState is the per-message state of the Fig. 1 pseudocode. pbest is the
+// strongest received power observed for the message (the pseudocode's
+// "pmin" variable: it is initialised at the first copy and raised whenever
+// a stronger copy arrives, lines 2-3 and 11-14).
+type msgState struct {
+	pbest     float64
+	waiting   bool
+	done      bool
+	timer     *sim.Event
+	heardFrom map[int]bool
+}
+
+// Protocol is one node's AEDB instance.
+type Protocol struct {
+	P      Params
+	node   *manet.Node
+	states map[int]*msgState
+
+	// Forwards counts data transmissions triggered by the timer path.
+	Forwards int
+	// Drops counts messages discarded because pbest exceeded the border
+	// threshold (either immediately or when the timer fired).
+	Drops int
+}
+
+var _ manet.Protocol = (*Protocol)(nil)
+
+// New returns a protocol factory for manet.New.
+func New(p Params) func(*manet.Node) manet.Protocol {
+	return func(*manet.Node) manet.Protocol {
+		return &Protocol{P: p, states: make(map[int]*msgState)}
+	}
+}
+
+// Init implements manet.Protocol.
+func (a *Protocol) Init(n *manet.Node) { a.node = n }
+
+// Originate implements manet.Protocol: the source transmits at the default
+// power (it has no reception information to adapt with).
+func (a *Protocol) Originate(msg *manet.Message) {
+	a.states[msg.ID] = &msgState{done: true}
+	a.node.Network().TransmitData(a.node, msg, a.node.Network().Cfg.DefaultTxPowerDBm)
+}
+
+// OnData implements manet.Protocol; it is the reception half of Fig. 1
+// (lines 1-15).
+func (a *Protocol) OnData(msg *manet.Message, from int, rxPowerDBm float64) {
+	st := a.states[msg.ID]
+	if st == nil {
+		// First reception (lines 1-9).
+		st = &msgState{pbest: rxPowerDBm, heardFrom: map[int]bool{from: true}}
+		a.states[msg.ID] = st
+		if rxPowerDBm > a.P.BorderThresholdDBm {
+			// Too close to the sender: drop (lines 4-5).
+			st.done = true
+			a.Drops++
+			return
+		}
+		st.waiting = true
+		lo, hi := a.P.DelayInterval()
+		delay := a.node.Rng.Range(lo, hi+1e-15) // rand in [delay interval] (line 8)
+		st.timer = a.node.Schedule(delay, func() { a.fire(msg, st) })
+		return
+	}
+	if st.waiting {
+		// Duplicate while waiting (lines 10-15): track the strongest copy
+		// and remember the sender for the sparse-regime neighbor discard.
+		st.heardFrom[from] = true
+		if rxPowerDBm > st.pbest {
+			st.pbest = rxPowerDBm
+		}
+	}
+}
+
+// fire is the timer half of Fig. 1 (lines 16-27).
+func (a *Protocol) fire(msg *manet.Message, st *msgState) {
+	st.waiting = false
+	st.done = true
+	if st.pbest > a.P.BorderThresholdDBm {
+		// Disqualified by a copy heard during the wait (lines 16-17).
+		a.Drops++
+		return
+	}
+	a.Forwards++
+	a.node.Network().TransmitData(a.node, msg, a.txPower(st))
+}
+
+// txPower computes the adapted transmission power (lines 19-24): the dense
+// regime targets the forwarding-area neighbor closest to the border
+// threshold (the nearest of the far nodes), the sparse regime targets the
+// furthest neighbor after discarding the nodes the message was already
+// heard from. The estimate inverts the beacon link budget and adds the
+// mobility margin.
+func (a *Protocol) txPower(st *msgState) float64 {
+	cfg := &a.node.Network().Cfg
+	nbrs := a.node.Neighbors()
+
+	potential := 0
+	bestDense := 0.0 // strongest beacon inside the forwarding area
+	haveDense := false
+	weakest := 0.0 // weakest beacon among non-discarded neighbors
+	haveSparse := false
+	for _, e := range nbrs {
+		if e.RxPowerDBm <= a.P.BorderThresholdDBm {
+			potential++
+			if !haveDense || e.RxPowerDBm > bestDense {
+				bestDense, haveDense = e.RxPowerDBm, true
+			}
+		}
+		if !st.heardFrom[e.ID] {
+			if !haveSparse || e.RxPowerDBm < weakest {
+				weakest, haveSparse = e.RxPowerDBm, true
+			}
+		}
+	}
+
+	var beaconRx float64
+	switch {
+	case float64(potential) > a.P.NeighborsThreshold && haveDense:
+		beaconRx = bestDense
+	case haveSparse:
+		beaconRx = weakest
+	default:
+		// Empty (or fully discarded) neighbor table: fall back to the
+		// default power, the safe choice under total uncertainty.
+		return cfg.DefaultTxPowerDBm
+	}
+	need := radio.TxPowerToReach(cfg.DefaultTxPowerDBm, beaconRx, cfg.SensitivityDBm) + a.P.MarginDBm
+	return radio.ClampTxPower(need, cfg.DefaultTxPowerDBm)
+}
+
+// Flooding is the classic blind-flooding baseline: every node forwards the
+// first copy it receives, at full power, after a short random delay drawn
+// from the same interval AEDB would use.
+type Flooding struct {
+	MinDelay, MaxDelay float64
+	node               *manet.Node
+	seen               map[int]bool
+}
+
+var _ manet.Protocol = (*Flooding)(nil)
+
+// NewFlooding returns a flooding factory with the given delay interval.
+func NewFlooding(minDelay, maxDelay float64) func(*manet.Node) manet.Protocol {
+	return func(*manet.Node) manet.Protocol {
+		return &Flooding{MinDelay: minDelay, MaxDelay: maxDelay, seen: make(map[int]bool)}
+	}
+}
+
+// Init implements manet.Protocol.
+func (f *Flooding) Init(n *manet.Node) { f.node = n }
+
+// Originate implements manet.Protocol.
+func (f *Flooding) Originate(msg *manet.Message) {
+	f.seen[msg.ID] = true
+	f.node.Network().TransmitData(f.node, msg, f.node.Network().Cfg.DefaultTxPowerDBm)
+}
+
+// OnData implements manet.Protocol.
+func (f *Flooding) OnData(msg *manet.Message, _ int, _ float64) {
+	if f.seen[msg.ID] {
+		return
+	}
+	f.seen[msg.ID] = true
+	lo, hi := f.MinDelay, f.MaxDelay
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	delay := f.node.Rng.Range(lo, hi+1e-15)
+	f.node.Schedule(delay, func() {
+		f.node.Network().TransmitData(f.node, msg, f.node.Network().Cfg.DefaultTxPowerDBm)
+	})
+}
+
+// DistanceBroadcast is the enhanced distance-based baseline AEDB descends
+// from: forwarding is gated by the border threshold (with the same
+// listen-while-waiting disqualification), but the transmission power is
+// never adapted — forwards go out at full power. Comparing it with AEDB
+// isolates the value of the power-adaptation stage.
+type DistanceBroadcast struct {
+	MinDelay, MaxDelay float64
+	BorderThresholdDBm float64
+	node               *manet.Node
+	states             map[int]*msgState
+}
+
+var _ manet.Protocol = (*DistanceBroadcast)(nil)
+
+// NewDistanceBroadcast returns a distance-based broadcasting factory.
+func NewDistanceBroadcast(minDelay, maxDelay, borderDBm float64) func(*manet.Node) manet.Protocol {
+	return func(*manet.Node) manet.Protocol {
+		return &DistanceBroadcast{
+			MinDelay: minDelay, MaxDelay: maxDelay, BorderThresholdDBm: borderDBm,
+			states: make(map[int]*msgState),
+		}
+	}
+}
+
+// Init implements manet.Protocol.
+func (d *DistanceBroadcast) Init(n *manet.Node) { d.node = n }
+
+// Originate implements manet.Protocol.
+func (d *DistanceBroadcast) Originate(msg *manet.Message) {
+	d.states[msg.ID] = &msgState{done: true}
+	d.node.Network().TransmitData(d.node, msg, d.node.Network().Cfg.DefaultTxPowerDBm)
+}
+
+// OnData implements manet.Protocol.
+func (d *DistanceBroadcast) OnData(msg *manet.Message, from int, rxPowerDBm float64) {
+	st := d.states[msg.ID]
+	if st == nil {
+		st = &msgState{pbest: rxPowerDBm, heardFrom: map[int]bool{from: true}}
+		d.states[msg.ID] = st
+		if rxPowerDBm > d.BorderThresholdDBm {
+			st.done = true
+			return
+		}
+		st.waiting = true
+		lo, hi := d.MinDelay, d.MaxDelay
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		st.timer = d.node.Schedule(d.node.Rng.Range(lo, hi+1e-15), func() {
+			st.waiting = false
+			st.done = true
+			if st.pbest <= d.BorderThresholdDBm {
+				d.node.Network().TransmitData(d.node, msg, d.node.Network().Cfg.DefaultTxPowerDBm)
+			}
+		})
+		return
+	}
+	if st.waiting && rxPowerDBm > st.pbest {
+		st.pbest = rxPowerDBm
+	}
+}

@@ -1,0 +1,177 @@
+package aedb
+
+import (
+	"math"
+	"testing"
+
+	"aedbmls/internal/manet"
+	"aedbmls/internal/radio"
+	"aedbmls/internal/rng"
+)
+
+// randomParams samples a configuration uniformly from the optimisation
+// domain.
+func randomParams(r *rng.Rand) Params {
+	d := DefaultDomain()
+	x := make([]float64, NumParams)
+	for i := range x {
+		x[i] = r.Range(d.Lo[i], d.Hi[i])
+	}
+	return FromVector(x)
+}
+
+// TestProtocolInvariantsRandomised runs full mobile simulations under many
+// random configurations and checks the structural invariants that must
+// hold regardless of parameters:
+//
+//  1. every node forwards a message at most once;
+//  2. the energy objective equals the sum of transmitted power levels;
+//  3. coverage never exceeds the number of potential receivers;
+//  4. the broadcast completes within the simulation window;
+//  5. adapted powers never exceed the radio maximum;
+//  6. per-protocol counters agree with the network-level stats.
+func TestProtocolInvariantsRandomised(t *testing.T) {
+	master := rng.New(2024)
+	for trial := 0; trial < 25; trial++ {
+		params := randomParams(master)
+		nodes := 10 + master.Intn(30)
+		seed := master.Uint64()
+
+		cfg := manet.DefaultScenario(nodes)
+		protos := make([]*Protocol, nodes)
+		net, err := manet.New(cfg, seed, func(n *manet.Node) manet.Protocol {
+			p := &Protocol{P: params, states: make(map[int]*msgState)}
+			protos[n.ID] = p
+			return p
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		source := master.Intn(nodes)
+		st := net.StartBroadcast(source, cfg.WarmupTime)
+		net.Run()
+
+		// (1) + (6): protocol-level forward counters match the stats and
+		// never exceed one per node.
+		totalForwards := 0
+		for id, p := range protos {
+			if p.Forwards > 1 {
+				t.Fatalf("trial %d: node %d forwarded %d times", trial, id, p.Forwards)
+			}
+			if id == source && p.Forwards > 0 {
+				t.Fatalf("trial %d: source counted as forwarder", trial)
+			}
+			totalForwards += p.Forwards
+		}
+		if totalForwards != st.Forwards {
+			t.Fatalf("trial %d: protocol forwards %d != stats %d", trial, totalForwards, st.Forwards)
+		}
+
+		// (2): the energy objective is a sum of per-transmission dBm
+		// levels, each within the radio's feasible interval.
+		nTx := st.Forwards + st.SourceSends
+		if nTx > 0 {
+			maxSum := float64(nTx) * cfg.DefaultTxPowerDBm
+			minSum := float64(nTx) * radio.MinTxPowerDBm
+			if st.TxPowerSumDBm > maxSum+1e-9 || st.TxPowerSumDBm < minSum-1e-9 {
+				t.Fatalf("trial %d: energy %v outside [%v, %v] for %d transmissions",
+					trial, st.TxPowerSumDBm, minSum, maxSum, nTx)
+			}
+		} else if st.TxPowerSumDBm != 0 {
+			t.Fatalf("trial %d: energy %v with no transmissions", trial, st.TxPowerSumDBm)
+		}
+
+		// (3): coverage bounded by the other devices.
+		if st.Coverage() < 0 || st.Coverage() > nodes-1 {
+			t.Fatalf("trial %d: coverage %d with %d nodes", trial, st.Coverage(), nodes)
+		}
+
+		// (4): no reception after the simulation end; bt within window.
+		bt := st.BroadcastTime()
+		if bt < 0 || bt > cfg.EndTime-cfg.WarmupTime+1e-9 {
+			t.Fatalf("trial %d: broadcast time %v outside window", trial, bt)
+		}
+		for id, rt := range st.FirstRx {
+			if rt < st.SentAt || rt > cfg.EndTime {
+				t.Fatalf("trial %d: node %d reception at %v outside [%v, %v]",
+					trial, id, rt, st.SentAt, cfg.EndTime)
+			}
+		}
+
+		// (5): physical energy consistent (strictly positive iff any
+		// transmission happened).
+		if (st.TxEnergyMJ > 0) != (nTx > 0) {
+			t.Fatalf("trial %d: physical energy %v with %d transmissions", trial, st.TxEnergyMJ, nTx)
+		}
+
+		// Sanity on the source protocol state: it must not also process
+		// the message as a receiver.
+		if srcState := protos[source].states[st.MessageID]; srcState == nil || !srcState.done {
+			t.Fatalf("trial %d: source state corrupted", trial)
+		}
+	}
+}
+
+// TestForwardingMonotoneInBorderThreshold checks the protocol-level
+// relation behind Table I: widening the forwarding area (raising the
+// border threshold within the optimisation domain) cannot reduce the
+// number of nodes eligible to forward on identical networks.
+func TestForwardingMonotoneInBorderThreshold(t *testing.T) {
+	base := Params{MinDelay: 0.1, MaxDelay: 0.3, MarginDBm: 1, NeighborsThreshold: 50}
+	run := func(border float64, seed uint64) float64 {
+		params := base
+		params.BorderThresholdDBm = border
+		cfg := manet.DefaultScenario(40)
+		net, err := manet.New(cfg, seed, New(params))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := net.StartBroadcast(0, cfg.WarmupTime)
+		net.Run()
+		return float64(st.Forwards)
+	}
+	// Average over a few networks to smooth out topology noise.
+	var narrow, wide float64
+	for seed := uint64(1); seed <= 5; seed++ {
+		narrow += run(-92, seed)
+		wide += run(-72, seed)
+	}
+	if wide < narrow {
+		t.Fatalf("wider forwarding area reduced forwards: %v -> %v", narrow, wide)
+	}
+}
+
+// TestDelayShiftsBroadcastTime checks the headline sensitivity relation:
+// scaling the delay interval up strictly increases the broadcast time on
+// multi-hop networks.
+func TestDelayShiftsBroadcastTime(t *testing.T) {
+	run := func(minD, maxD float64, seed uint64) (float64, int) {
+		params := Params{MinDelay: minD, MaxDelay: maxD, BorderThresholdDBm: -82, MarginDBm: 1, NeighborsThreshold: 12}
+		cfg := manet.DefaultScenario(40)
+		net, err := manet.New(cfg, seed, New(params))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := net.StartBroadcast(0, cfg.WarmupTime)
+		net.Run()
+		return st.BroadcastTime(), st.Forwards
+	}
+	var fast, slow float64
+	counted := 0
+	for seed := uint64(10); seed < 15; seed++ {
+		fbt, ffwd := run(0.01, 0.05, seed)
+		sbt, _ := run(0.8, 1.5, seed)
+		if ffwd == 0 {
+			continue // single-hop network: delays do not surface in bt
+		}
+		counted++
+		fast += fbt
+		slow += sbt
+	}
+	if counted == 0 {
+		t.Skip("all sampled networks were single-hop")
+	}
+	if !(slow > fast) || math.Abs(slow-fast) < 1e-9 {
+		t.Fatalf("longer delays did not increase broadcast time: fast=%v slow=%v", fast, slow)
+	}
+}

@@ -1,0 +1,199 @@
+// Package benchproblems provides classic synthetic multi-objective
+// benchmark problems (Schaffer, Fonseca-Fleming, ZDT1/2/3, DTLZ2 and a
+// constrained variant). They give the optimisation algorithms fast,
+// analytically understood targets for unit tests, property tests and
+// ablation benchmarks, independently of the (much slower) AEDB simulation
+// problem.
+package benchproblems
+
+import (
+	"math"
+
+	"aedbmls/internal/moo"
+)
+
+// Func wraps a plain function as a moo.Problem.
+type Func struct {
+	ProblemName string
+	D, M        int
+	LoV, HiV    []float64
+	Eval        func(x []float64) (f []float64, violation float64)
+}
+
+var _ moo.Problem = (*Func)(nil)
+
+// Name implements moo.Problem.
+func (p *Func) Name() string { return p.ProblemName }
+
+// Dim implements moo.Problem.
+func (p *Func) Dim() int { return p.D }
+
+// NumObjectives implements moo.Problem.
+func (p *Func) NumObjectives() int { return p.M }
+
+// Bounds implements moo.Problem.
+func (p *Func) Bounds() (lo, hi []float64) { return p.LoV, p.HiV }
+
+// Evaluate implements moo.Problem.
+func (p *Func) Evaluate(x []float64) (f []float64, violation float64, aux any) {
+	f, violation = p.Eval(x)
+	return f, violation, nil
+}
+
+func uniformBounds(dim int, lo, hi float64) (l, h []float64) {
+	l = make([]float64, dim)
+	h = make([]float64, dim)
+	for i := range l {
+		l[i], h[i] = lo, hi
+	}
+	return l, h
+}
+
+// Schaffer returns the single-variable Schaffer problem: f1 = x^2,
+// f2 = (x-2)^2; the Pareto set is x in [0, 2].
+func Schaffer() *Func {
+	lo, hi := uniformBounds(1, -4, 4)
+	return &Func{
+		ProblemName: "schaffer", D: 1, M: 2, LoV: lo, HiV: hi,
+		Eval: func(x []float64) ([]float64, float64) {
+			return []float64{x[0] * x[0], (x[0] - 2) * (x[0] - 2)}, 0
+		},
+	}
+}
+
+// Fonseca returns the Fonseca-Fleming two-objective problem in dim
+// variables; the Pareto set is x_i identical in [-1/sqrt(n), 1/sqrt(n)].
+func Fonseca(dim int) *Func {
+	lo, hi := uniformBounds(dim, -4, 4)
+	return &Func{
+		ProblemName: "fonseca", D: dim, M: 2, LoV: lo, HiV: hi,
+		Eval: func(x []float64) ([]float64, float64) {
+			inv := 1 / math.Sqrt(float64(dim))
+			var s1, s2 float64
+			for _, v := range x {
+				s1 += (v - inv) * (v - inv)
+				s2 += (v + inv) * (v + inv)
+			}
+			return []float64{1 - math.Exp(-s1), 1 - math.Exp(-s2)}, 0
+		},
+	}
+}
+
+func zdtG(x []float64) float64 {
+	var s float64
+	for _, v := range x[1:] {
+		s += v
+	}
+	return 1 + 9*s/float64(len(x)-1)
+}
+
+// ZDT1 returns the convex-front ZDT1 problem in dim variables (dim >= 2).
+func ZDT1(dim int) *Func {
+	lo, hi := uniformBounds(dim, 0, 1)
+	return &Func{
+		ProblemName: "zdt1", D: dim, M: 2, LoV: lo, HiV: hi,
+		Eval: func(x []float64) ([]float64, float64) {
+			g := zdtG(x)
+			f1 := x[0]
+			return []float64{f1, g * (1 - math.Sqrt(f1/g))}, 0
+		},
+	}
+}
+
+// ZDT2 returns the concave-front ZDT2 problem.
+func ZDT2(dim int) *Func {
+	lo, hi := uniformBounds(dim, 0, 1)
+	return &Func{
+		ProblemName: "zdt2", D: dim, M: 2, LoV: lo, HiV: hi,
+		Eval: func(x []float64) ([]float64, float64) {
+			g := zdtG(x)
+			f1 := x[0]
+			r := f1 / g
+			return []float64{f1, g * (1 - r*r)}, 0
+		},
+	}
+}
+
+// ZDT3 returns the disconnected-front ZDT3 problem.
+func ZDT3(dim int) *Func {
+	lo, hi := uniformBounds(dim, 0, 1)
+	return &Func{
+		ProblemName: "zdt3", D: dim, M: 2, LoV: lo, HiV: hi,
+		Eval: func(x []float64) ([]float64, float64) {
+			g := zdtG(x)
+			f1 := x[0]
+			r := f1 / g
+			return []float64{f1, g * (1 - math.Sqrt(r) - r*math.Sin(10*math.Pi*f1))}, 0
+		},
+	}
+}
+
+// DTLZ2 returns the three-objective DTLZ2 problem in dim variables
+// (dim >= 3); the Pareto front is the unit-sphere octant.
+func DTLZ2(dim int) *Func {
+	lo, hi := uniformBounds(dim, 0, 1)
+	return &Func{
+		ProblemName: "dtlz2", D: dim, M: 3, LoV: lo, HiV: hi,
+		Eval: func(x []float64) ([]float64, float64) {
+			var g float64
+			for _, v := range x[2:] {
+				g += (v - 0.5) * (v - 0.5)
+			}
+			c1 := math.Cos(x[0] * math.Pi / 2)
+			s1 := math.Sin(x[0] * math.Pi / 2)
+			c2 := math.Cos(x[1] * math.Pi / 2)
+			s2 := math.Sin(x[1] * math.Pi / 2)
+			return []float64{(1 + g) * c1 * c2, (1 + g) * c1 * s2, (1 + g) * s1}, 0
+		},
+	}
+}
+
+// ConstrainedSchaffer returns Schaffer with the constraint x >= 0.5
+// (violation = 0.5 - x when x < 0.5), exercising the constrained-dominance
+// machinery with a known feasible Pareto set x in [0.5, 2].
+func ConstrainedSchaffer() *Func {
+	base := Schaffer()
+	return &Func{
+		ProblemName: "schaffer-constrained", D: 1, M: 2, LoV: base.LoV, HiV: base.HiV,
+		Eval: func(x []float64) ([]float64, float64) {
+			f, _ := base.Eval(x)
+			viol := 0.5 - x[0]
+			if viol < 0 {
+				viol = 0
+			}
+			return f, viol
+		},
+	}
+}
+
+// ZDT1Front samples n points of ZDT1's true Pareto front (g = 1).
+func ZDT1Front(n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		f1 := float64(i) / float64(n-1)
+		out[i] = []float64{f1, 1 - math.Sqrt(f1)}
+	}
+	return out
+}
+
+// DTLZ2Front samples roughly n points of DTLZ2's true front (the unit
+// sphere octant), on a lat-long grid.
+func DTLZ2Front(n int) [][]float64 {
+	side := int(math.Sqrt(float64(n)))
+	if side < 2 {
+		side = 2
+	}
+	var out [][]float64
+	for i := 0; i < side; i++ {
+		for j := 0; j < side; j++ {
+			t1 := float64(i) / float64(side-1) * math.Pi / 2
+			t2 := float64(j) / float64(side-1) * math.Pi / 2
+			out = append(out, []float64{
+				math.Cos(t1) * math.Cos(t2),
+				math.Cos(t1) * math.Sin(t2),
+				math.Sin(t1),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package benchproblems
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"aedbmls/internal/moo"
+	"aedbmls/internal/rng"
+)
+
+func TestShapes(t *testing.T) {
+	problems := []*Func{
+		Schaffer(), Fonseca(3), ZDT1(5), ZDT2(5), ZDT3(5), DTLZ2(7), ConstrainedSchaffer(),
+	}
+	for _, p := range problems {
+		lo, hi := p.Bounds()
+		if len(lo) != p.Dim() || len(hi) != p.Dim() {
+			t.Errorf("%s: bounds length mismatch", p.Name())
+		}
+		x := make([]float64, p.Dim())
+		for i := range x {
+			x[i] = (lo[i] + hi[i]) / 2
+		}
+		f, _, _ := p.Evaluate(x)
+		if len(f) != p.NumObjectives() {
+			t.Errorf("%s: objective arity %d, want %d", p.Name(), len(f), p.NumObjectives())
+		}
+		for _, v := range f {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: non-finite objective %v", p.Name(), f)
+			}
+		}
+	}
+}
+
+func TestSchafferKnownValues(t *testing.T) {
+	p := Schaffer()
+	f, viol, _ := p.Evaluate([]float64{0})
+	if f[0] != 0 || f[1] != 4 || viol != 0 {
+		t.Fatalf("Schaffer(0) = %v", f)
+	}
+	f, _, _ = p.Evaluate([]float64{2})
+	if f[0] != 4 || f[1] != 0 {
+		t.Fatalf("Schaffer(2) = %v", f)
+	}
+}
+
+func TestZDT1OptimalFront(t *testing.T) {
+	p := ZDT1(6)
+	// x1 free, the rest zero: on the optimal front f2 = 1 - sqrt(f1).
+	for _, x1 := range []float64{0, 0.25, 1} {
+		x := make([]float64, 6)
+		x[0] = x1
+		f, _, _ := p.Evaluate(x)
+		want := 1 - math.Sqrt(x1)
+		if math.Abs(f[1]-want) > 1e-12 {
+			t.Fatalf("ZDT1 optimal point f2 = %v, want %v", f[1], want)
+		}
+	}
+	// Nonzero tail variables worsen f2.
+	x := make([]float64, 6)
+	x[0] = 0.5
+	x[3] = 0.9
+	f, _, _ := p.Evaluate(x)
+	if f[1] <= 1-math.Sqrt(0.5) {
+		t.Fatal("ZDT1 g-penalty missing")
+	}
+}
+
+func TestZDT2Concave(t *testing.T) {
+	p := ZDT2(4)
+	x := make([]float64, 4)
+	x[0] = 0.5
+	f, _, _ := p.Evaluate(x)
+	if math.Abs(f[1]-(1-0.25)) > 1e-12 {
+		t.Fatalf("ZDT2 optimal f2 = %v, want 0.75", f[1])
+	}
+}
+
+func TestDTLZ2FrontOnSphere(t *testing.T) {
+	p := DTLZ2(7)
+	// Tail at 0.5 -> g = 0 -> points on the unit sphere.
+	x := []float64{0.3, 0.7, 0.5, 0.5, 0.5, 0.5, 0.5}
+	f, _, _ := p.Evaluate(x)
+	norm := math.Sqrt(f[0]*f[0] + f[1]*f[1] + f[2]*f[2])
+	if math.Abs(norm-1) > 1e-12 {
+		t.Fatalf("DTLZ2 optimal point norm = %v, want 1", norm)
+	}
+}
+
+func TestConstrainedSchafferViolation(t *testing.T) {
+	p := ConstrainedSchaffer()
+	_, viol, _ := p.Evaluate([]float64{0.2})
+	if math.Abs(viol-0.3) > 1e-12 {
+		t.Fatalf("violation at 0.2 = %v, want 0.3", viol)
+	}
+	_, viol, _ = p.Evaluate([]float64{0.6})
+	if viol != 0 {
+		t.Fatalf("violation at 0.6 = %v, want 0", viol)
+	}
+}
+
+func TestReferenceFronts(t *testing.T) {
+	zf := ZDT1Front(50)
+	if len(zf) != 50 {
+		t.Fatalf("ZDT1Front size = %d", len(zf))
+	}
+	for _, p := range zf {
+		if math.Abs(p[1]-(1-math.Sqrt(p[0]))) > 1e-12 {
+			t.Fatalf("ZDT1Front point off the front: %v", p)
+		}
+	}
+	df := DTLZ2Front(100)
+	for _, p := range df {
+		norm := math.Sqrt(p[0]*p[0] + p[1]*p[1] + p[2]*p[2])
+		if math.Abs(norm-1) > 1e-9 {
+			t.Fatalf("DTLZ2Front point off the sphere: %v", p)
+		}
+	}
+}
+
+func TestEvaluateViaMooInterface(t *testing.T) {
+	var p moo.Problem = ZDT3(4)
+	r := rng.New(1)
+	check := func() bool {
+		lo, hi := p.Bounds()
+		x := make([]float64, p.Dim())
+		for i := range x {
+			x[i] = r.Range(lo[i], hi[i])
+		}
+		s := moo.NewSolution(p, x)
+		return len(s.F) == p.NumObjectives() && !math.IsNaN(s.F[0]) && !math.IsNaN(s.F[1])
+	}
+	if err := quick.Check(func() bool { return check() }, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

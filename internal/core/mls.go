@@ -1,0 +1,428 @@
+// Package core implements AEDB-MLS, the paper's contribution: a massively
+// parallel multi-start multi-objective local search (Sect. IV).
+//
+// The algorithm maintains several distributed populations; every solution
+// of every population is improved simultaneously by its own local-search
+// worker (Fig. 3). A worker perturbs its current solution with a BLX-α
+// move (Eq. 2) along one of three sensitivity-derived search criteria,
+// using a random peer from its population as the reference that scales
+// the perturbation; feasible moves are always accepted and offered to a
+// shared elite archive (Adaptive Grid Archiving). Every resetPeriod
+// iterations a population synchronises, discards itself and restarts from
+// random archive members — the collaboration mechanism between
+// populations.
+//
+// The parallel model mirrors the paper's hybrid design: workers within a
+// population share memory (the population slots, under a mutex), while
+// populations collaborate with the external archive only through message
+// passing (a channel-served archive goroutine).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aedbmls/internal/archive"
+	"aedbmls/internal/moo"
+	"aedbmls/internal/operators"
+	"aedbmls/internal/rng"
+)
+
+// Criterion is one search criterion: the subset of decision variables a
+// perturbation touches. The AEDB criteria come from the sensitivity
+// analysis (Sect. IV-B).
+type Criterion struct {
+	Name   string
+	Params []int
+}
+
+// DefaultAEDBCriteria returns the paper's three search criteria, expressed
+// over the canonical AEDB parameter order (aedb.Idx* constants):
+//
+//	(i)   energy / forwardings — border threshold (2) and neighbors
+//	      threshold (4);
+//	(ii)  coverage             — neighbors threshold (4);
+//	(iii) broadcast-time       — min delay (0) and max delay (1).
+func DefaultAEDBCriteria() []Criterion {
+	return []Criterion{
+		{Name: "energy+forwardings", Params: []int{2, 4}},
+		{Name: "coverage", Params: []int{4}},
+		{Name: "broadcast-time", Params: []int{0, 1}},
+	}
+}
+
+// PerDimensionCriteria returns one single-variable criterion per decision
+// dimension — the generic fallback when AEDB-MLS is applied to arbitrary
+// problems.
+func PerDimensionCriteria(dim int) []Criterion {
+	out := make([]Criterion, dim)
+	for i := range out {
+		out[i] = Criterion{Name: fmt.Sprintf("x%d", i), Params: []int{i}}
+	}
+	return out
+}
+
+// Config parameterises AEDB-MLS. The zero value is unusable; start from
+// DefaultConfig (paper values) or TestConfig (reduced budgets).
+type Config struct {
+	// Populations is the number of distributed populations (paper: 8).
+	Populations int
+	// Workers is the number of local-search threads per population
+	// (paper: 12, the cores of one computing node).
+	Workers int
+	// EvalsPerWorker is the per-thread evaluation budget (paper: 250;
+	// 8 x 12 x 250 = 24 000 evaluations per execution).
+	EvalsPerWorker int
+	// ResetPeriod is the number of iterations between population
+	// re-initialisations from the archive (paper: 50 after tuning).
+	ResetPeriod int
+	// Alpha is the BLX-α perturbation magnitude (paper: 0.2 after tuning).
+	Alpha float64
+	// ArchiveCapacity bounds the elite archive (100, as the MOEAs' fronts).
+	ArchiveCapacity int
+	// GridDivisions is the AGA grid resolution per objective.
+	GridDivisions int
+	// Criteria are the search criteria; nil selects PerDimensionCriteria,
+	// and AEDB runs should pass DefaultAEDBCriteria().
+	Criteria []Criterion
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		Populations:     8,
+		Workers:         12,
+		EvalsPerWorker:  250,
+		ResetPeriod:     50,
+		Alpha:           0.2,
+		ArchiveCapacity: 100,
+		GridDivisions:   8,
+		Seed:            1,
+	}
+}
+
+// TestConfig returns a reduced configuration for tests and benchmarks.
+func TestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Populations = 2
+	cfg.Workers = 3
+	cfg.EvalsPerWorker = 20
+	cfg.ResetPeriod = 8
+	return cfg
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Populations <= 0:
+		return fmt.Errorf("core: Populations must be positive")
+	case c.Workers <= 0:
+		return fmt.Errorf("core: Workers must be positive")
+	case c.EvalsPerWorker <= 0:
+		return fmt.Errorf("core: EvalsPerWorker must be positive")
+	case c.ResetPeriod <= 0:
+		return fmt.Errorf("core: ResetPeriod must be positive")
+	case c.Alpha <= 0 || c.Alpha >= 1:
+		return fmt.Errorf("core: Alpha must be in (0,1), got %g", c.Alpha)
+	case c.ArchiveCapacity <= 0:
+		return fmt.Errorf("core: ArchiveCapacity must be positive")
+	}
+	return nil
+}
+
+// Result is the outcome of one AEDB-MLS execution.
+type Result struct {
+	// Front is the final elite archive: feasible, mutually non-dominated.
+	Front []*moo.Solution
+	// Evaluations counts problem evaluations across all workers.
+	Evaluations int64
+	// Accepted counts feasible perturbations that replaced a current
+	// solution.
+	Accepted int64
+	// Resets counts population re-initialisations.
+	Resets int64
+	// Duration is the wall-clock optimisation time.
+	Duration time.Duration
+}
+
+// Optimize runs AEDB-MLS on problem p. The archive may be overridden (for
+// the archive-policy ablation) via the optional arch; pass nil for the
+// paper's AGA.
+func Optimize(p moo.Problem, cfg Config, arch archive.Interface) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	criteria := cfg.Criteria
+	if len(criteria) == 0 {
+		criteria = PerDimensionCriteria(p.Dim())
+	}
+	for _, c := range criteria {
+		for _, idx := range c.Params {
+			if idx < 0 || idx >= p.Dim() {
+				return nil, fmt.Errorf("core: criterion %q touches variable %d outside dim %d", c.Name, idx, p.Dim())
+			}
+		}
+	}
+	if arch == nil {
+		arch = archive.NewAGA(cfg.ArchiveCapacity, cfg.GridDivisions)
+	}
+	master := rng.New(cfg.Seed)
+	server := archive.NewServer(arch, master.Split())
+
+	lo, hi := p.Bounds()
+	res := &Result{}
+	var evals, accepted, resets atomic.Int64
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	pops := make([]*population, 0, cfg.Populations)
+	for pi := 0; pi < cfg.Populations; pi++ {
+		pop := newPopulation(cfg.Workers)
+		pops = append(pops, pop)
+		bar := newBarrier(cfg.Workers)
+		for wi := 0; wi < cfg.Workers; wi++ {
+			wg.Add(1)
+			w := &worker{
+				problem:  p,
+				cfg:      cfg,
+				criteria: criteria,
+				lo:       lo, hi: hi,
+				pop: pop, slot: wi,
+				barrier: bar,
+				archive: server,
+				rng:     master.Split(),
+				evals:   &evals, accepted: &accepted, resets: &resets,
+			}
+			go func() {
+				defer wg.Done()
+				w.run()
+			}()
+		}
+	}
+	wg.Wait()
+	res.Front = server.Snapshot()
+	if len(res.Front) == 0 {
+		// No worker ever archived a feasible solution (possible only on
+		// very tight budgets or infeasible-dominated problems): fall back
+		// to the non-dominated subset of the final populations.
+		var last []*moo.Solution
+		for _, pop := range pops {
+			pop.mu.RLock()
+			for _, s := range pop.slots {
+				if s != nil {
+					last = append(last, s)
+				}
+			}
+			pop.mu.RUnlock()
+		}
+		res.Front = moo.ParetoFilter(last)
+	}
+	server.Close()
+	res.Evaluations = evals.Load()
+	res.Accepted = accepted.Load()
+	res.Resets = resets.Load()
+	res.Duration = time.Since(start)
+	archive.SortByObjective(res.Front, 0)
+	return res, nil
+}
+
+// worker is one local-search procedure (Fig. 3).
+type worker struct {
+	problem  moo.Problem
+	cfg      Config
+	criteria []Criterion
+	lo, hi   []float64
+	pop      *population
+	slot     int
+	barrier  *barrier
+	archive  *archive.Server
+	rng      *rng.Rand
+
+	evals, accepted, resets *atomic.Int64
+	spent                   int
+}
+
+func (w *worker) evaluate(x []float64) *moo.Solution {
+	w.spent++
+	w.evals.Add(1)
+	return moo.NewSolution(w.problem, x)
+}
+
+// run executes the Fig. 3 pseudocode.
+func (w *worker) run() {
+	defer w.barrier.Leave()
+
+	// Lines 1-3: random feasible initialisation, evaluated and archived.
+	s := w.initialise()
+	if s == nil {
+		return // budget exhausted before finding a feasible start
+	}
+	w.archive.AddAsync(s)
+	w.pop.set(w.slot, s)
+	w.barrier.Arrive() // line 4: wait for the local population
+
+	iter := 0
+	for w.spent < w.cfg.EvalsPerWorker { // line 5: stopping condition
+		iter++
+		// Line 6: random reference solution from the local population.
+		t := w.pop.sample(w.rng)
+		if t == nil {
+			t = s
+		}
+		// Lines 7-8: perturb along a random search criterion, evaluate.
+		crit := w.criteria[w.rng.Intn(len(w.criteria))]
+		x := operators.PerturbBLX(s.X, t.X, crit.Params, w.cfg.Alpha, w.lo, w.hi, w.rng)
+		cand := w.evaluate(x)
+		// Lines 9-12: accept and archive feasible moves.
+		if cand.Feasible() {
+			w.archive.AddAsync(cand)
+			s = cand
+			w.pop.set(w.slot, s)
+			w.accepted.Add(1)
+		}
+		// Lines 13-16: periodic re-initialisation from the archive.
+		if iter%w.cfg.ResetPeriod == 0 && w.spent < w.cfg.EvalsPerWorker {
+			if ns := w.archive.Sample(); ns != nil {
+				s = ns.Clone()
+				w.pop.set(w.slot, s)
+			}
+			w.resets.Add(1)
+			w.barrier.Arrive()
+		}
+	}
+}
+
+// initialise draws uniform random vectors until one is feasible, spending
+// budget on each try (the paper initialises populations with feasible
+// random solutions).
+func (w *worker) initialise() *moo.Solution {
+	for w.spent < w.cfg.EvalsPerWorker {
+		s := w.evaluate(operators.RandomVector(w.lo, w.hi, w.rng))
+		if s.Feasible() {
+			return s
+		}
+	}
+	return nil
+}
+
+// Improve is the embeddable variant of the local search: it applies up to
+// iters perturbation steps to s, drawing references from pop and keeping
+// feasible moves, and returns the improved solution together with the
+// number of evaluations spent. It is the hook the paper's future-work
+// memetic MOEAs use (see internal/cellde.Memetic).
+func Improve(p moo.Problem, s *moo.Solution, pop []*moo.Solution, iters int, alpha float64,
+	criteria []Criterion, r *rng.Rand) (*moo.Solution, int) {
+	if len(criteria) == 0 {
+		criteria = PerDimensionCriteria(p.Dim())
+	}
+	lo, hi := p.Bounds()
+	spent := 0
+	for i := 0; i < iters; i++ {
+		t := s
+		if len(pop) > 0 {
+			t = pop[r.Intn(len(pop))]
+		}
+		crit := criteria[r.Intn(len(criteria))]
+		x := operators.PerturbBLX(s.X, t.X, crit.Params, alpha, lo, hi, r)
+		cand := moo.NewSolution(p, x)
+		spent++
+		if cand.Feasible() && !moo.Dominates(s, cand) {
+			s = cand
+		}
+	}
+	return s, spent
+}
+
+// population is the shared-memory half of the hybrid model: one slot per
+// worker, readable by every peer in the same population.
+type population struct {
+	mu    sync.RWMutex
+	slots []*moo.Solution
+}
+
+func newPopulation(n int) *population { return &population{slots: make([]*moo.Solution, n)} }
+
+func (p *population) set(i int, s *moo.Solution) {
+	p.mu.Lock()
+	p.slots[i] = s
+	p.mu.Unlock()
+}
+
+// sample returns a uniformly random non-nil slot (nil if all empty).
+func (p *population) sample(r *rng.Rand) *moo.Solution {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	// Count live slots first so the draw is uniform over them.
+	live := 0
+	for _, s := range p.slots {
+		if s != nil {
+			live++
+		}
+	}
+	if live == 0 {
+		return nil
+	}
+	k := r.Intn(live)
+	for _, s := range p.slots {
+		if s == nil {
+			continue
+		}
+		if k == 0 {
+			return s
+		}
+		k--
+	}
+	return nil
+}
+
+// barrier is a cyclic barrier whose membership can shrink: a worker that
+// exhausts its budget Leaves, and the remaining workers' synchronisations
+// keep working. This implements the synchronise_threads() of Fig. 3
+// without deadlocking on unequal budgets.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	arrived int
+	gen     uint64
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Arrive blocks until every current member of the barrier has arrived.
+func (b *barrier) Arrive() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.arrived++
+	if b.arrived >= b.parties {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	gen := b.gen
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+}
+
+// Leave permanently removes one member, releasing a waiting generation if
+// this member was the last one outstanding.
+func (b *barrier) Leave() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.parties--
+	if b.parties > 0 && b.arrived >= b.parties {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"time"
+
+	"aedbmls/internal/archive"
+	"aedbmls/internal/moo"
+	"aedbmls/internal/operators"
+	"aedbmls/internal/rng"
+)
+
+// OptimizeSequential executes the AEDB-MLS algorithm with the exact same
+// structure as Optimize — populations, per-worker budgets, search
+// criteria, archive interaction, reset protocol — but steps the virtual
+// workers round-robin on the calling goroutine.
+//
+// The parallel execution is scheduling-dependent (workers race on the
+// shared population and archive, as in the paper's implementation);
+// this variant is bit-for-bit reproducible for a given seed regardless of
+// GOMAXPROCS, which makes it the right tool for regression baselines and
+// debugging. It is also the honest 1-core baseline for speedup
+// measurements.
+func OptimizeSequential(p moo.Problem, cfg Config, arch archive.Interface) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	criteria := cfg.Criteria
+	if len(criteria) == 0 {
+		criteria = PerDimensionCriteria(p.Dim())
+	}
+	if arch == nil {
+		arch = archive.NewAGA(cfg.ArchiveCapacity, cfg.GridDivisions)
+	}
+	master := rng.New(cfg.Seed)
+	archRng := master.Split() // mirrors the archive server's stream
+	lo, hi := p.Bounds()
+
+	res := &Result{}
+	start := time.Now()
+
+	evaluate := func(w *vworker, x []float64) *moo.Solution {
+		w.spent++
+		res.Evaluations++
+		return moo.NewSolution(p, x)
+	}
+	sampleArchive := func() *moo.Solution {
+		if n := arch.Len(); n > 0 {
+			return arch.Contents()[archRng.Intn(n)]
+		}
+		return nil
+	}
+
+	pops := make([][]*vworker, cfg.Populations)
+	for pi := range pops {
+		pops[pi] = make([]*vworker, cfg.Workers)
+		for wi := range pops[pi] {
+			pops[pi][wi] = &vworker{rng: master.Split()}
+		}
+	}
+
+	// Initialisation phase (lines 1-4 of Fig. 3): every worker draws
+	// feasible random starts; the implicit barrier is the phase boundary.
+	for _, pop := range pops {
+		for _, w := range pop {
+			for w.spent < cfg.EvalsPerWorker {
+				s := evaluate(w, operators.RandomVector(lo, hi, w.rng))
+				if s.Feasible() {
+					w.s = s
+					arch.Add(s)
+					break
+				}
+			}
+		}
+	}
+
+	// Main loop: one round steps every live worker once, which makes the
+	// reset barriers line up exactly as in the threaded version.
+	for {
+		live := 0
+		for _, pop := range pops {
+			// Snapshot of the population slots for reference sampling.
+			for _, w := range pop {
+				if w.s == nil || w.spent >= cfg.EvalsPerWorker {
+					continue
+				}
+				live++
+				w.iter++
+				t := sampleVWorkers(pop, w.rng)
+				if t == nil {
+					t = w.s
+				}
+				crit := criteria[w.rng.Intn(len(criteria))]
+				x := operators.PerturbBLX(w.s.X, t.X, crit.Params, cfg.Alpha, lo, hi, w.rng)
+				cand := evaluate(w, x)
+				if cand.Feasible() {
+					arch.Add(cand)
+					w.s = cand
+					res.Accepted++
+				}
+				if w.iter%cfg.ResetPeriod == 0 && w.spent < cfg.EvalsPerWorker {
+					if ns := sampleArchive(); ns != nil {
+						w.s = ns.Clone()
+					}
+					res.Resets++
+				}
+			}
+		}
+		if live == 0 {
+			break
+		}
+	}
+
+	res.Front = arch.Contents()
+	if len(res.Front) == 0 {
+		var last []*moo.Solution
+		for _, pop := range pops {
+			for _, w := range pop {
+				if w.s != nil {
+					last = append(last, w.s)
+				}
+			}
+		}
+		res.Front = moo.ParetoFilter(last)
+	}
+	res.Duration = time.Since(start)
+	archive.SortByObjective(res.Front, 0)
+	return res, nil
+}
+
+// vworker is the state of one virtual (sequentially stepped) worker.
+type vworker struct {
+	rng   *rng.Rand
+	s     *moo.Solution
+	spent int
+	iter  int
+}
+
+// sampleVWorkers returns a uniformly random live solution among the
+// virtual workers of one population.
+func sampleVWorkers(pop []*vworker, r *rng.Rand) *moo.Solution {
+	n := 0
+	for _, w := range pop {
+		if w.s != nil {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	k := r.Intn(n)
+	for _, w := range pop {
+		if w.s != nil {
+			if k == 0 {
+				return w.s
+			}
+			k--
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"aedbmls/internal/archive"
+	"aedbmls/internal/benchproblems"
+	"aedbmls/internal/moo"
+)
+
+func TestSequentialDeterministic(t *testing.T) {
+	// The whole point of the sequential mode: identical seeds give
+	// identical fronts even with multiple (virtual) populations/workers.
+	p := benchproblems.ZDT1(5)
+	cfg := TestConfig()
+	cfg.Populations = 3
+	cfg.Workers = 4
+	cfg.EvalsPerWorker = 40
+	cfg.Seed = 17
+	r1, err := OptimizeSequential(p, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := OptimizeSequential(p, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Evaluations != r2.Evaluations || r1.Accepted != r2.Accepted || r1.Resets != r2.Resets {
+		t.Fatalf("counters diverged: (%d %d %d) vs (%d %d %d)",
+			r1.Evaluations, r1.Accepted, r1.Resets, r2.Evaluations, r2.Accepted, r2.Resets)
+	}
+	if len(r1.Front) != len(r2.Front) {
+		t.Fatalf("front sizes differ: %d vs %d", len(r1.Front), len(r2.Front))
+	}
+	for i := range r1.Front {
+		if !moo.EqualF(r1.Front[i], r2.Front[i]) {
+			t.Fatalf("front member %d differs", i)
+		}
+	}
+}
+
+func TestSequentialBudget(t *testing.T) {
+	p := benchproblems.Schaffer()
+	cfg := TestConfig()
+	cfg.Seed = 18
+	res, err := OptimizeSequential(p, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := int64(cfg.Populations * cfg.Workers * cfg.EvalsPerWorker)
+	if res.Evaluations > budget {
+		t.Fatalf("spent %d of %d", res.Evaluations, budget)
+	}
+	if res.Evaluations < budget/2 {
+		t.Fatalf("underspent: %d of %d", res.Evaluations, budget)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty front")
+	}
+}
+
+func TestSequentialFrontQuality(t *testing.T) {
+	p := benchproblems.ConstrainedSchaffer()
+	cfg := TestConfig()
+	cfg.EvalsPerWorker = 100
+	cfg.Seed = 19
+	res, err := OptimizeSequential(p, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Front {
+		if !s.Feasible() {
+			t.Fatalf("infeasible front member %v", s)
+		}
+	}
+	// Mutually non-dominated.
+	for i, a := range res.Front {
+		for j, b := range res.Front {
+			if i != j && moo.Dominates(a, b) {
+				t.Fatal("front contains dominated member")
+			}
+		}
+	}
+}
+
+func TestSequentialMatchesParallelSingleWorker(t *testing.T) {
+	// With one population and one worker, the sequential and threaded
+	// executions follow the same code path order and must agree exactly.
+	p := benchproblems.ZDT1(4)
+	cfg := TestConfig()
+	cfg.Populations = 1
+	cfg.Workers = 1
+	cfg.EvalsPerWorker = 120
+	cfg.Seed = 20
+	seq, err := OptimizeSequential(p, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Optimize(p, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Front) != len(par.Front) {
+		t.Fatalf("front sizes: sequential %d, parallel %d", len(seq.Front), len(par.Front))
+	}
+	for i := range seq.Front {
+		if !moo.EqualF(seq.Front[i], par.Front[i]) {
+			t.Fatalf("front member %d differs between execution modes", i)
+		}
+	}
+	if seq.Evaluations != par.Evaluations {
+		t.Fatalf("evaluation counts differ: %d vs %d", seq.Evaluations, par.Evaluations)
+	}
+}
+
+func TestSequentialCustomArchive(t *testing.T) {
+	p := benchproblems.Schaffer()
+	cfg := TestConfig()
+	cfg.Seed = 21
+	res, err := OptimizeSequential(p, cfg, archive.NewCrowding(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 || len(res.Front) > 15 {
+		t.Fatalf("front size = %d with capacity 15", len(res.Front))
+	}
+}
+
+func TestSequentialRejectsBadConfig(t *testing.T) {
+	p := benchproblems.Schaffer()
+	cfg := TestConfig()
+	cfg.Alpha = 0
+	if _, err := OptimizeSequential(p, cfg, nil); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

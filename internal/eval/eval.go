@@ -1,0 +1,229 @@
+// Package eval defines the AEDB tuning problem of the paper: evaluating a
+// five-parameter AEDB configuration means simulating one broadcast on each
+// of ten fixed networks and averaging the observed metrics (Eq. 1).
+//
+// Objectives (all minimised, per the moo convention):
+//
+//	f0 = energy      — sum of data-transmission power levels in dBm
+//	f1 = -coverage   — devices reached (negated: the paper maximises it)
+//	f2 = forwardings — non-source data transmissions
+//
+// subject to the broadcast-time constraint bt < 2 s. The ten networks are
+// frozen per density (derived deterministically from the problem seed), so
+// every candidate configuration is judged on exactly the same scenarios,
+// as in the paper.
+package eval
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"aedbmls/internal/aedb"
+	"aedbmls/internal/manet"
+	"aedbmls/internal/moo"
+	"aedbmls/internal/rng"
+)
+
+// BroadcastTimeLimit is the feasibility constraint of Eq. 1.
+const BroadcastTimeLimit = 2.0
+
+// DefaultCommittee is the number of fixed networks per evaluation.
+const DefaultCommittee = 10
+
+// Density labels used throughout the paper (devices/km^2 -> nodes in the
+// 0.25 km^2 arena).
+var DensityNodes = map[int]int{100: 25, 200: 50, 300: 75}
+
+// Metrics is the raw (pre-negation) averaged outcome of one evaluation.
+type Metrics struct {
+	EnergyDBmSum  float64 // paper's energy objective
+	Coverage      float64 // devices reached, source excluded
+	Forwardings   float64
+	BroadcastTime float64
+	EnergyMJ      float64 // physical radiated energy (reporting only)
+	Collisions    float64
+}
+
+// String renders the metrics in paper units.
+func (m Metrics) String() string {
+	return fmt.Sprintf("energy=%.2f coverage=%.2f forwardings=%.2f bt=%.3fs",
+		m.EnergyDBmSum, m.Coverage, m.Forwardings, m.BroadcastTime)
+}
+
+// scenario is one frozen network of the committee.
+type scenario struct {
+	seed   uint64
+	source int
+}
+
+// Problem is the AEDB tuning problem for one network density. It is safe
+// for concurrent Evaluate calls; each call builds its simulations from the
+// frozen seeds.
+type Problem struct {
+	cfg       manet.Config
+	domain    aedb.Domain
+	scenarios []scenario
+	density   int
+	evals     atomic.Int64
+}
+
+// Option customises a Problem.
+type Option func(*Problem)
+
+// WithDomain overrides the decision-space box (e.g. the wider sensitivity
+// domain).
+func WithDomain(d aedb.Domain) Option { return func(p *Problem) { p.domain = d } }
+
+// WithCommittee overrides the number of frozen networks (default 10).
+func WithCommittee(n int) Option {
+	return func(p *Problem) { p.scenarios = p.scenarios[:min(n, len(p.scenarios))] }
+}
+
+// WithConfig overrides the manet scenario (node count is preserved from
+// the density unless the config sets it).
+func WithConfig(cfg manet.Config) Option { return func(p *Problem) { p.cfg = cfg } }
+
+// NewProblem builds the tuning problem for a density in devices/km^2
+// (100, 200 or 300 in the paper; other values scale by area). The seed
+// freezes the network committee.
+func NewProblem(density int, seed uint64, opts ...Option) *Problem {
+	nodes, ok := DensityNodes[density]
+	if !ok {
+		nodes = manet.NodesForDensity(manet.DefaultScenario(1).Area, float64(density))
+		if nodes < 2 {
+			nodes = 2
+		}
+	}
+	p := &Problem{
+		cfg:     manet.DefaultScenario(nodes),
+		domain:  aedb.DefaultDomain(),
+		density: density,
+	}
+	// Freeze the committee: DefaultCommittee seeds and source nodes drawn
+	// from a master stream that depends only on (seed, density).
+	master := rng.New(seed ^ (uint64(density) * 0x9e3779b97f4a7c15))
+	for i := 0; i < DefaultCommittee; i++ {
+		p.scenarios = append(p.scenarios, scenario{
+			seed:   master.Uint64(),
+			source: master.Intn(nodes),
+		})
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	if p.cfg.NumNodes <= 0 {
+		p.cfg.NumNodes = nodes
+	}
+	// Re-bound sources in case an option changed the node count.
+	for i := range p.scenarios {
+		p.scenarios[i].source %= p.cfg.NumNodes
+	}
+	return p
+}
+
+// Name implements moo.Problem.
+func (p *Problem) Name() string { return fmt.Sprintf("aedb-tuning-%ddev", p.density) }
+
+// Density returns the density label (devices/km^2).
+func (p *Problem) Density() int { return p.density }
+
+// Nodes returns the number of devices per network.
+func (p *Problem) Nodes() int { return p.cfg.NumNodes }
+
+// Committee returns the number of frozen networks per evaluation.
+func (p *Problem) Committee() int { return len(p.scenarios) }
+
+// Dim implements moo.Problem.
+func (p *Problem) Dim() int { return aedb.NumParams }
+
+// NumObjectives implements moo.Problem.
+func (p *Problem) NumObjectives() int { return 3 }
+
+// Bounds implements moo.Problem.
+func (p *Problem) Bounds() (lo, hi []float64) { return p.domain.Bounds() }
+
+// Evaluations returns the number of Evaluate calls served so far.
+func (p *Problem) Evaluations() int64 { return p.evals.Load() }
+
+// ResetEvaluations zeroes the evaluation counter.
+func (p *Problem) ResetEvaluations() { p.evals.Store(0) }
+
+// Evaluate implements moo.Problem.
+func (p *Problem) Evaluate(x []float64) (f []float64, violation float64, aux any) {
+	m := p.Simulate(aedb.FromVector(x))
+	f = []float64{m.EnergyDBmSum, -m.Coverage, m.Forwardings}
+	violation = m.BroadcastTime - BroadcastTimeLimit
+	if violation < 0 {
+		violation = 0
+	}
+	return f, violation, m
+}
+
+// Simulate runs the committee for a configuration and returns the averaged
+// raw metrics. It is the fitness function of Eq. 1 before negation.
+func (p *Problem) Simulate(params aedb.Params) Metrics {
+	p.evals.Add(1)
+	var sum Metrics
+	for _, sc := range p.scenarios {
+		st := p.runOne(params, sc)
+		sum.EnergyDBmSum += st.TxPowerSumDBm
+		sum.Coverage += float64(st.Coverage())
+		sum.Forwardings += float64(st.Forwards)
+		sum.BroadcastTime += st.BroadcastTime()
+		sum.EnergyMJ += st.TxEnergyMJ
+	}
+	n := float64(len(p.scenarios))
+	sum.EnergyDBmSum /= n
+	sum.Coverage /= n
+	sum.Forwardings /= n
+	sum.BroadcastTime /= n
+	sum.EnergyMJ /= n
+	return sum
+}
+
+// runOne simulates a single committee network.
+func (p *Problem) runOne(params aedb.Params, sc scenario) *manet.BroadcastStats {
+	net, err := manet.New(p.cfg, sc.seed, aedb.New(params))
+	if err != nil {
+		panic(fmt.Sprintf("eval: scenario construction failed: %v", err))
+	}
+	st := net.StartBroadcast(sc.source, p.cfg.WarmupTime)
+	net.Run()
+	return st
+}
+
+// SimulateProtocol runs the committee with an arbitrary protocol factory
+// (used by examples comparing AEDB against flooding and distance-based
+// baselines) and returns the averaged metrics.
+func (p *Problem) SimulateProtocol(factory func(*manet.Node) manet.Protocol) Metrics {
+	var sum Metrics
+	for _, sc := range p.scenarios {
+		net, err := manet.New(p.cfg, sc.seed, factory)
+		if err != nil {
+			panic(fmt.Sprintf("eval: scenario construction failed: %v", err))
+		}
+		st := net.StartBroadcast(sc.source, p.cfg.WarmupTime)
+		net.Run()
+		sum.EnergyDBmSum += st.TxPowerSumDBm
+		sum.Coverage += float64(st.Coverage())
+		sum.Forwardings += float64(st.Forwards)
+		sum.BroadcastTime += st.BroadcastTime()
+		sum.EnergyMJ += st.TxEnergyMJ
+		sum.Collisions += float64(net.Collisions)
+	}
+	n := float64(len(p.scenarios))
+	sum.EnergyDBmSum /= n
+	sum.Coverage /= n
+	sum.Forwardings /= n
+	sum.BroadcastTime /= n
+	sum.EnergyMJ /= n
+	sum.Collisions /= n
+	return sum
+}
+
+// MetricsOf extracts the raw metrics attached to a solution evaluated on a
+// Problem. ok is false if the solution was produced by another problem.
+func MetricsOf(s *moo.Solution) (Metrics, bool) {
+	m, ok := s.Aux.(Metrics)
+	return m, ok
+}

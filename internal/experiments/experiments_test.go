@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"aedbmls/internal/moo"
+)
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"paper", "small", "tiny"} {
+		sc, err := ScaleByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sc.Name != name {
+			t.Fatalf("scale name %q != %q", sc.Name, name)
+		}
+	}
+	if _, err := ScaleByName("bogus"); err == nil {
+		t.Fatal("bogus scale accepted")
+	}
+}
+
+func TestPaperScaleMatchesProtocol(t *testing.T) {
+	sc := PaperScale()
+	if sc.Runs != 30 || sc.Committee != 10 {
+		t.Fatalf("runs/committee = %d/%d", sc.Runs, sc.Committee)
+	}
+	if got := sc.MLSEvaluations(); got != 24000 {
+		t.Fatalf("MLS budget = %d, want 24000", got)
+	}
+	if sc.NSGA.Evaluations != 10000 || sc.CellDE.Evaluations != 10000 {
+		t.Fatal("MOEA budgets differ from the paper's 10000")
+	}
+	// The 2.4x ratio the paper reports.
+	ratio := float64(sc.MLSEvaluations()) / float64(sc.NSGA.Evaluations)
+	if math.Abs(ratio-2.4) > 1e-9 {
+		t.Fatalf("eval ratio = %v, want 2.4", ratio)
+	}
+	if len(sc.Densities) != 3 {
+		t.Fatal("paper scale must cover the three densities")
+	}
+}
+
+func TestSmallAndTinyKeepRatios(t *testing.T) {
+	for _, sc := range []Scale{SmallScale(), TinyScale()} {
+		ratio := float64(sc.MLSEvaluations()) / float64(sc.NSGA.Evaluations)
+		if ratio < 2 || ratio > 3 {
+			t.Fatalf("%s: eval ratio = %v, want near 2.4", sc.Name, ratio)
+		}
+	}
+}
+
+// runAllOnce caches the tiny RunSet across tests in this package.
+var cachedRunSet *RunSet
+
+func tinyRunSet(t *testing.T) *RunSet {
+	t.Helper()
+	if cachedRunSet != nil {
+		return cachedRunSet
+	}
+	sc := TinyScale()
+	rs, err := RunAll(sc, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedRunSet = rs
+	return rs
+}
+
+func TestRunAllProducesAllAlgorithms(t *testing.T) {
+	rs := tinyRunSet(t)
+	if rs.Nodes != 25 {
+		t.Fatalf("nodes = %d", rs.Nodes)
+	}
+	for _, alg := range Algorithms {
+		if len(rs.Fronts[alg]) != rs.Runs {
+			t.Fatalf("%s: %d fronts, want %d", alg, len(rs.Fronts[alg]), rs.Runs)
+		}
+		for run, front := range rs.Fronts[alg] {
+			if len(front) == 0 {
+				t.Fatalf("%s run %d: empty front", alg, run)
+			}
+			// Constrained fronts are homogeneous: either all feasible, or
+			// (when the run never found a feasible point) all infeasible.
+			feasible := 0
+			for _, s := range front {
+				if s.Feasible() {
+					feasible++
+				}
+			}
+			if feasible != 0 && feasible != len(front) {
+				t.Fatalf("%s run %d: mixed feasibility front (%d/%d)", alg, run, feasible, len(front))
+			}
+		}
+		if len(rs.Durations[alg]) != rs.Runs || len(rs.Evals[alg]) != rs.Runs {
+			t.Fatalf("%s: bookkeeping incomplete", alg)
+		}
+	}
+}
+
+func TestBuildFronts(t *testing.T) {
+	rs := tinyRunSet(t)
+	fr := BuildFronts(rs, 50)
+	if len(fr.Reference) == 0 || len(fr.MLS) == 0 {
+		t.Fatal("empty merged fronts")
+	}
+	if len(fr.Reference) > 50 || len(fr.MLS) > 50 {
+		t.Fatal("AGA merge exceeded capacity")
+	}
+	// Merged fronts are mutually non-dominated internally.
+	for i, a := range fr.MLS {
+		for j, b := range fr.MLS {
+			if i != j && moo.Dominates(a, b) {
+				t.Fatal("MLS merged front contains dominated member")
+			}
+		}
+	}
+	if fr.RefDominatedByMLS < 0 || fr.RefDominatedByMLS > len(fr.Reference) {
+		t.Fatalf("dominance count out of range: %d", fr.RefDominatedByMLS)
+	}
+	out := fr.RenderFigure6()
+	for _, want := range []string{"Figure 6", "coverage vs energy", "mutual domination"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Figure 6 rendering missing %q", want)
+		}
+	}
+}
+
+func TestComputeMetrics(t *testing.T) {
+	rs := tinyRunSet(t)
+	mr := ComputeMetrics(rs)
+	for _, metric := range MetricNames {
+		for _, alg := range Algorithms {
+			samples := mr.Samples[metric][alg]
+			if len(samples) != rs.Runs {
+				t.Fatalf("%s/%s: %d samples", metric, alg, len(samples))
+			}
+			for _, v := range samples {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s/%s: non-finite sample %v", metric, alg, v)
+				}
+				if metric == "hypervolume" && (v < 0 || v > 1.1*1.1*1.1+1e-9) {
+					t.Fatalf("hypervolume out of range: %v", v)
+				}
+				if metric != "hypervolume" && v < 0 {
+					t.Fatalf("%s negative: %v", metric, v)
+				}
+			}
+		}
+	}
+	out := mr.RenderFigure7()
+	if !strings.Contains(out, "Figure 7") || !strings.Contains(out, "AEDB-MLS") {
+		t.Fatal("Figure 7 rendering incomplete")
+	}
+}
+
+func TestRenderTableIV(t *testing.T) {
+	rs := tinyRunSet(t)
+	mr := ComputeMetrics(rs)
+	out := RenderTableIV([]*MetricsResult{mr})
+	for _, want := range []string{"Table IV", "spread", "igd", "hypervolume", "CellDE", "NSGAII"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table IV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPairwiseCellSymmetry(t *testing.T) {
+	rs := tinyRunSet(t)
+	mr := ComputeMetrics(rs)
+	for _, metric := range MetricNames {
+		ab := mr.PairwiseCell(metric, AlgCellDE, AlgNSGAII)
+		ba := mr.PairwiseCell(metric, AlgNSGAII, AlgCellDE)
+		switch ab {
+		case "win":
+			if ba != "loss" {
+				t.Fatalf("%s: asymmetric cells %s/%s", metric, ab, ba)
+			}
+		case "loss":
+			if ba != "win" {
+				t.Fatalf("%s: asymmetric cells %s/%s", metric, ab, ba)
+			}
+		default:
+			if ba != "-" {
+				t.Fatalf("%s: asymmetric cells %s/%s", metric, ab, ba)
+			}
+		}
+	}
+}
+
+func TestComputeTiming(t *testing.T) {
+	sc := TinyScale()
+	rs := tinyRunSet(t)
+	tr := ComputeTiming(sc, rs)
+	if tr.EvalRatio < 1.5 || tr.EvalRatio > 3.5 {
+		t.Fatalf("eval ratio = %v, want near 2.4", tr.EvalRatio)
+	}
+	for _, alg := range Algorithms {
+		if tr.Throughput[alg] <= 0 {
+			t.Fatalf("%s throughput = %v", alg, tr.Throughput[alg])
+		}
+	}
+	out := tr.Render()
+	if !strings.Contains(out, "Execution time") || !strings.Contains(out, "paper: 2.4x") {
+		t.Fatal("timing rendering incomplete")
+	}
+}
+
+func TestSensitivityTiny(t *testing.T) {
+	sc := TinyScale()
+	sc.Committee = 2
+	res, err := Sensitivity(sc, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Factors) != 5 || len(res.Outputs) != 4 {
+		t.Fatalf("dimensions: %d factors, %d outputs", len(res.Factors), len(res.Outputs))
+	}
+	for o := range res.Outputs {
+		for f := range res.Factors {
+			m, tot := res.Indices[o].Main[f], res.Indices[o].Total[f]
+			if m < 0 || m > 1 || tot < 0 || tot > 1 {
+				t.Fatalf("index out of [0,1]: main=%v total=%v", m, tot)
+			}
+		}
+	}
+	// Headline finding of the paper: the delays dominate the broadcast
+	// time (Fig. 2a).
+	factor, _ := res.MostInfluential("broadcast_time")
+	if factor != "min_delay" && factor != "max_delay" {
+		t.Fatalf("broadcast time driven by %q, want a delay parameter", factor)
+	}
+	fig := res.RenderFigure2()
+	if !strings.Contains(fig, "Influence on broadcast_time") {
+		t.Fatal("Figure 2 rendering incomplete")
+	}
+	tab := res.RenderTableI()
+	if !strings.Contains(tab, "min_delay") || !strings.Contains(tab, "broadcast time") {
+		t.Fatal("Table I rendering incomplete")
+	}
+}
+
+func TestConfigAnalysisTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("config analysis sweep in -short mode")
+	}
+	sc := TinyScale()
+	sc.Runs = 2
+	res, err := ConfigAnalysis(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 9 {
+		t.Fatalf("cells = %d, want 9 (3 alphas x 3 resets)", len(res.Cells))
+	}
+	if res.Best.MedianHV <= 0 {
+		t.Fatalf("best median HV = %v", res.Best.MedianHV)
+	}
+	if !strings.Contains(res.Render(), "alpha") {
+		t.Fatal("rendering incomplete")
+	}
+}
+
+func TestArchiveAblationTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	sc := TinyScale()
+	sc.Runs = 2
+	res, err := ArchiveAblation(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.MedianHV <= 0 || row.FrontSize <= 0 {
+			t.Fatalf("degenerate ablation row: %+v", row)
+		}
+	}
+}
+
+func TestParallelismAblationTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	sc := TinyScale()
+	res, err := ParallelismAblation(sc, [][2]int{{1, 1}, {2, 2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Throughput <= 0 {
+			t.Fatalf("zero throughput: %+v", row)
+		}
+	}
+}
+
+func TestMemeticTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memetic comparison in -short mode")
+	}
+	sc := TinyScale()
+	sc.Runs = 2
+	res, err := MemeticCellDE(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PlainHV) != 2 || len(res.MemeticHV) != 2 {
+		t.Fatalf("sample sizes %d/%d", len(res.PlainHV), len(res.MemeticHV))
+	}
+	if !strings.Contains(res.Render(), "memetic") {
+		t.Fatal("rendering incomplete")
+	}
+}
+
+func TestFrontPointsUsesMetrics(t *testing.T) {
+	rs := tinyRunSet(t)
+	front := rs.Fronts[AlgMLS][0]
+	pts := FrontPoints(front)
+	if len(pts) != len(front) {
+		t.Fatal("point count mismatch")
+	}
+	// Coverage column must be the un-negated metric (non-negative).
+	for _, p := range pts {
+		if p[1] < 0 {
+			t.Fatalf("coverage negative in paper units: %v", p)
+		}
+	}
+	// Objective points keep minimisation signs.
+	ops := ObjectivePoints(front)
+	for i := range ops {
+		if ops[i][1] != -pts[i][1] {
+			t.Fatal("objective/paper-unit mismatch")
+		}
+	}
+}

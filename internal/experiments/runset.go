@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"aedbmls/internal/cellde"
+	"aedbmls/internal/core"
+	"aedbmls/internal/eval"
+	"aedbmls/internal/moo"
+	"aedbmls/internal/nsga2"
+)
+
+// Algorithm labels in the paper's column order.
+const (
+	AlgCellDE = "CellDE"
+	AlgNSGAII = "NSGAII"
+	AlgMLS    = "AEDB-MLS"
+)
+
+// Algorithms is the canonical ordering used by every report.
+var Algorithms = []string{AlgCellDE, AlgNSGAII, AlgMLS}
+
+// RunSet holds the raw per-run outcomes of all three algorithms on one
+// density; every downstream artifact (Fig. 6, Fig. 7, Table IV, timing) is
+// derived from it.
+type RunSet struct {
+	Density int
+	Nodes   int
+	Runs    int
+	// Fronts[alg][run] is the feasible non-dominated front of that run.
+	Fronts map[string][][]*moo.Solution
+	// Durations[alg][run] is the wall-clock time of that run.
+	Durations map[string][]time.Duration
+	// Evals[alg][run] is the number of problem evaluations spent.
+	Evals map[string][]int64
+}
+
+// RunAll executes Runs independent executions of CellDE, NSGA-II and
+// AEDB-MLS on the density's frozen problem. MLS runs use their internal
+// parallelism; the MOEAs are sequential, matching the paper's setup.
+func RunAll(sc Scale, density int, log Logf) (*RunSet, error) {
+	problem := sc.Problem(density)
+	rs := &RunSet{
+		Density:   density,
+		Nodes:     problem.Nodes(),
+		Runs:      sc.Runs,
+		Fronts:    make(map[string][][]*moo.Solution),
+		Durations: make(map[string][]time.Duration),
+		Evals:     make(map[string][]int64),
+	}
+	for run := 0; run < sc.Runs; run++ {
+		seed := sc.Seed + 1000*uint64(run)
+
+		cfg := sc.CellDE
+		cfg.Seed = seed + 1
+		cres, err := cellde.Optimize(problem, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: CellDE run %d: %w", run, err)
+		}
+		rs.record(AlgCellDE, cres.Front, cres.Duration, cres.Evaluations)
+
+		ncfg := sc.NSGA
+		ncfg.Seed = seed + 2
+		nres, err := nsga2.Optimize(problem, ncfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: NSGA-II run %d: %w", run, err)
+		}
+		rs.record(AlgNSGAII, nres.Front, nres.Duration, nres.Evaluations)
+
+		mcfg := sc.MLS
+		mcfg.Seed = seed + 3
+		if len(mcfg.Criteria) == 0 {
+			mcfg.Criteria = core.DefaultAEDBCriteria()
+		}
+		mres, err := core.Optimize(problem, mcfg, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: AEDB-MLS run %d: %w", run, err)
+		}
+		rs.record(AlgMLS, mres.Front, mres.Duration, mres.Evaluations)
+
+		log.printf("density %d: run %d/%d done (fronts: cellde=%d nsga2=%d mls=%d)",
+			density, run+1, sc.Runs, len(cres.Front), len(nres.Front), len(mres.Front))
+	}
+	return rs, nil
+}
+
+func (rs *RunSet) record(alg string, front []*moo.Solution, d time.Duration, evals int64) {
+	rs.Fronts[alg] = append(rs.Fronts[alg], front)
+	rs.Durations[alg] = append(rs.Durations[alg], d)
+	rs.Evals[alg] = append(rs.Evals[alg], evals)
+}
+
+// FrontPoints converts solutions to objective vectors in paper units
+// (energy, coverage, forwardings) — coverage un-negated for display.
+func FrontPoints(front []*moo.Solution) [][]float64 {
+	out := make([][]float64, len(front))
+	for i, s := range front {
+		m, ok := eval.MetricsOf(s)
+		if ok {
+			out[i] = []float64{m.EnergyDBmSum, m.Coverage, m.Forwardings}
+		} else {
+			out[i] = append([]float64(nil), s.F...)
+		}
+	}
+	return out
+}
+
+// ObjectivePoints converts solutions to raw minimisation-space vectors
+// (as used by the indicators).
+func ObjectivePoints(front []*moo.Solution) [][]float64 {
+	out := make([][]float64, len(front))
+	for i, s := range front {
+		out[i] = append([]float64(nil), s.F...)
+	}
+	return out
+}

@@ -1,0 +1,292 @@
+// Package fast99 implements the extended Fourier Amplitude Sensitivity
+// Test (FAST) of Saltelli, Tarantola & Chan (Technometrics 1999), the
+// method the paper uses for its parameter sensitivity analysis
+// (Sect. III-B, Fig. 2, Table I).
+//
+// For each input factor i, the whole input space is explored along a
+// space-filling search curve
+//
+//	x_k(s) = lo_k + (hi_k - lo_k) * (1/2 + asin(sin(w_k*s + phi_k))/pi)
+//
+// where factor i is driven at a high frequency w_i = omega1 and all other
+// factors at low frequencies <= omega1/(2M). The first-order (main
+// effect) index S_i is the share of output variance concentrated at
+// omega1 and its first M harmonics; the total-order index ST_i is one
+// minus the share in the low-frequency band (the complementary factors),
+// and ST_i - S_i measures interactions. This mirrors R's
+// sensitivity::fast99, which the original analysis plots were produced
+// with.
+package fast99
+
+import (
+	"fmt"
+	"math"
+
+	"aedbmls/internal/rng"
+)
+
+// Result holds the sensitivity indices for one model output.
+type Result struct {
+	// Main[i] is the first-order index S_i of factor i.
+	Main []float64
+	// Total[i] is the total-order index ST_i of factor i.
+	Total []float64
+}
+
+// Interactions returns max(0, ST_i - S_i) per factor — the quantity the
+// paper stacks on top of the main effect in Fig. 2.
+func (r Result) Interactions() []float64 {
+	out := make([]float64, len(r.Main))
+	for i := range out {
+		v := r.Total[i] - r.Main[i]
+		if v < 0 {
+			v = 0
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Config controls the analysis.
+type Config struct {
+	// N is the number of model evaluations per factor (>= 4*M*M+1 for a
+	// valid frequency layout; Analyze enforces this).
+	N int
+	// M is the number of harmonics summed for the main effect
+	// (conventionally 4).
+	M int
+	// Rng, when non-nil, draws a random phase shift per factor per curve,
+	// decorrelating the search curves. Nil uses zero phases
+	// (deterministic classic FAST).
+	Rng *rng.Rand
+}
+
+// Analyze runs extended FAST on a multi-output model over the box
+// [lo, hi]. The model receives one input vector and returns one value per
+// output; results are indexed by output. The model is called
+// len(lo)*cfg.N times.
+func Analyze(model func(x []float64) []float64, lo, hi []float64, cfg Config) ([]Result, error) {
+	k := len(lo)
+	if k == 0 || len(hi) != k {
+		return nil, fmt.Errorf("fast99: bad bounds (len lo=%d, hi=%d)", k, len(hi))
+	}
+	if cfg.M <= 0 {
+		cfg.M = 4
+	}
+	minN := 4*cfg.M*cfg.M + 1
+	if cfg.N < minN {
+		return nil, fmt.Errorf("fast99: N=%d too small for M=%d (need >= %d)", cfg.N, cfg.M, minN)
+	}
+	n, m := cfg.N, cfg.M
+
+	// Frequency layout (as in R's fast99): the driver frequency for the
+	// factor of interest, and low complementary frequencies for the rest.
+	omega1 := (n - 1) / (2 * m)
+	maxComp := omega1 / (2 * m)
+	if maxComp < 1 {
+		maxComp = 1
+	}
+	comp := make([]int, k-1)
+	if maxComp >= k-1 {
+		// Evenly spread over [1, maxComp].
+		for i := range comp {
+			if k == 2 {
+				comp[i] = 1
+			} else {
+				comp[i] = 1 + i*(maxComp-1)/(k-2)
+			}
+		}
+	} else {
+		for i := range comp {
+			comp[i] = i%maxComp + 1
+		}
+	}
+
+	s := make([]float64, n)
+	for j := 0; j < n; j++ {
+		s[j] = math.Pi * (2*float64(j) + 1 - float64(n)) / float64(n)
+	}
+
+	var numOutputs = -1
+	var results []Result
+	x := make([]float64, k)
+	freqs := make([]int, k)
+	phases := make([]float64, k)
+	ys := make([][]float64, 0) // per output: n samples (reused per factor)
+
+	for fi := 0; fi < k; fi++ {
+		// Assign frequencies: driver to factor fi, complementary to rest.
+		ci := 0
+		for f := 0; f < k; f++ {
+			if f == fi {
+				freqs[f] = omega1
+			} else {
+				freqs[f] = comp[ci]
+				ci++
+			}
+			if cfg.Rng != nil {
+				phases[f] = cfg.Rng.Range(0, 2*math.Pi)
+			} else {
+				phases[f] = 0
+			}
+		}
+		// Evaluate the model along the curve.
+		for j := 0; j < n; j++ {
+			for f := 0; f < k; f++ {
+				g := 0.5 + math.Asin(math.Sin(float64(freqs[f])*s[j]+phases[f]))/math.Pi
+				x[f] = lo[f] + (hi[f]-lo[f])*g
+			}
+			y := model(x)
+			if numOutputs < 0 {
+				numOutputs = len(y)
+				results = make([]Result, numOutputs)
+				for o := range results {
+					results[o] = Result{Main: make([]float64, k), Total: make([]float64, k)}
+				}
+				ys = make([][]float64, numOutputs)
+				for o := range ys {
+					ys[o] = make([]float64, n)
+				}
+			} else if len(y) != numOutputs {
+				return nil, fmt.Errorf("fast99: model output arity changed (%d -> %d)", numOutputs, len(y))
+			}
+			for o, v := range y {
+				ys[o][j] = v
+			}
+		}
+		// Spectral decomposition per output.
+		for o := 0; o < numOutputs; o++ {
+			v := variance(ys[o])
+			if v <= 0 {
+				results[o].Main[fi] = 0
+				results[o].Total[fi] = 0
+				continue
+			}
+			var d1 float64
+			for h := 1; h <= m; h++ {
+				d1 += spectrumAt(ys[o], s, h*omega1)
+			}
+			var dt float64
+			for f := 1; f <= omega1/2; f++ {
+				dt += spectrumAt(ys[o], s, f)
+			}
+			results[o].Main[fi] = clamp01(d1 / v)
+			results[o].Total[fi] = clamp01(1 - dt/v)
+		}
+	}
+	return results, nil
+}
+
+// spectrumAt returns the variance contribution of frequency w:
+// 2*(A^2+B^2) with A, B the cosine/sine Fourier coefficients of y over the
+// curve parameter s.
+func spectrumAt(y, s []float64, w int) float64 {
+	var a, b float64
+	for j, v := range y {
+		a += v * math.Cos(float64(w)*s[j])
+		b += v * math.Sin(float64(w)*s[j])
+	}
+	n := float64(len(y))
+	a /= n
+	b /= n
+	return 2 * (a*a + b*b)
+}
+
+func variance(y []float64) float64 {
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	var s float64
+	for _, v := range y {
+		d := v - mean
+		s += d * d
+	}
+	return s / float64(len(y))
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// EffectDirection estimates the sign of each factor's effect on each
+// output by ordinary least-squares slopes over a uniform sample of the
+// box: +1 if increasing the factor increases the output, -1 if it
+// decreases it, 0 if negligible relative to the output spread. This
+// produces the up/down triangles of the paper's Table I.
+func EffectDirection(model func(x []float64) []float64, lo, hi []float64, n int, r *rng.Rand) [][]int {
+	k := len(lo)
+	xs := make([][]float64, n)
+	var ys [][]float64
+	for j := 0; j < n; j++ {
+		x := make([]float64, k)
+		for f := 0; f < k; f++ {
+			x[f] = r.Range(lo[f], hi[f])
+		}
+		xs[j] = x
+		y := model(x)
+		if ys == nil {
+			ys = make([][]float64, len(y))
+			for o := range ys {
+				ys[o] = make([]float64, n)
+			}
+		}
+		for o, v := range y {
+			ys[o][j] = v
+		}
+	}
+	out := make([][]int, len(ys))
+	for o := range ys {
+		out[o] = make([]int, k)
+		sy := stddev(ys[o])
+		for f := 0; f < k; f++ {
+			slope := olsSlope(column(xs, f), ys[o])
+			span := hi[f] - lo[f]
+			// Effect of sweeping the factor across its whole range,
+			// relative to the output's spread.
+			if sy > 0 && math.Abs(slope*span) > 0.1*sy {
+				if slope > 0 {
+					out[o][f] = 1
+				} else {
+					out[o][f] = -1
+				}
+			}
+		}
+	}
+	return out
+}
+
+func column(xs [][]float64, f int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x[f]
+	}
+	return out
+}
+
+func olsSlope(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+func stddev(y []float64) float64 {
+	return math.Sqrt(variance(y))
+}

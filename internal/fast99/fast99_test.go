@@ -1,0 +1,201 @@
+package fast99
+
+import (
+	"math"
+	"testing"
+
+	"aedbmls/internal/rng"
+)
+
+func TestLinearModelVarianceShares(t *testing.T) {
+	// y = 2*x1 + x2 over [-1,1]^2: Var = 4/3 + 1/3, so S1 = 0.8, S2 = 0.2,
+	// no interactions.
+	model := func(x []float64) []float64 { return []float64{2*x[0] + x[1]} }
+	res, err := Analyze(model, []float64{-1, -1}, []float64{1, 1}, Config{N: 1001, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if math.Abs(r.Main[0]-0.8) > 0.05 {
+		t.Fatalf("S1 = %v, want approx 0.8", r.Main[0])
+	}
+	if math.Abs(r.Main[1]-0.2) > 0.05 {
+		t.Fatalf("S2 = %v, want approx 0.2", r.Main[1])
+	}
+	for i, inter := range r.Interactions() {
+		if inter > 0.1 {
+			t.Fatalf("linear model interaction[%d] = %v, want approx 0", i, inter)
+		}
+	}
+}
+
+func TestPureInteractionModel(t *testing.T) {
+	// y = x1*x2 over [-1,1]^2 has zero main effects and all variance in
+	// the interaction.
+	model := func(x []float64) []float64 { return []float64{x[0] * x[1]} }
+	res, err := Analyze(model, []float64{-1, -1}, []float64{1, 1}, Config{N: 1001, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	for i := 0; i < 2; i++ {
+		if r.Main[i] > 0.1 {
+			t.Fatalf("main[%d] = %v, want approx 0", i, r.Main[i])
+		}
+		if r.Total[i] < 0.5 {
+			t.Fatalf("total[%d] = %v, want large (pure interaction)", i, r.Total[i])
+		}
+	}
+}
+
+func TestIrrelevantFactorScoresZero(t *testing.T) {
+	// x2 does not appear in the model.
+	model := func(x []float64) []float64 { return []float64{math.Sin(x[0])} }
+	res, err := Analyze(model, []float64{-3, -3}, []float64{3, 3}, Config{N: 601, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if r.Main[1] > 0.02 || r.Total[1] > 0.1 {
+		t.Fatalf("irrelevant factor scored main=%v total=%v", r.Main[1], r.Total[1])
+	}
+	if r.Main[0] < 0.8 {
+		t.Fatalf("driving factor main = %v, want near 1", r.Main[0])
+	}
+}
+
+func TestRankingOfUnequalFactors(t *testing.T) {
+	// Ishigami-like weighting: x1 strongest, then x2, x3 negligible.
+	model := func(x []float64) []float64 {
+		return []float64{5*x[0] + 2*x[1] + 0.1*x[2]}
+	}
+	res, err := Analyze(model, []float64{-1, -1, -1}, []float64{1, 1, 1}, Config{N: 1001, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if !(r.Main[0] > r.Main[1] && r.Main[1] > r.Main[2]) {
+		t.Fatalf("ranking wrong: %v", r.Main)
+	}
+}
+
+func TestMultiOutputModel(t *testing.T) {
+	// Output 0 depends on x1, output 1 on x2; indices must separate.
+	model := func(x []float64) []float64 { return []float64{x[0], x[1] * x[1]} }
+	res, err := Analyze(model, []float64{-1, -1}, []float64{1, 1}, Config{N: 501, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Main[0] < 0.8 || res[0].Main[1] > 0.05 {
+		t.Fatalf("output 0 indices wrong: %v", res[0].Main)
+	}
+	if res[1].Main[1] < 0.8 || res[1].Main[0] > 0.05 {
+		t.Fatalf("output 1 indices wrong: %v", res[1].Main)
+	}
+}
+
+func TestConstantModel(t *testing.T) {
+	model := func(x []float64) []float64 { return []float64{42} }
+	res, err := Analyze(model, []float64{0, 0}, []float64{1, 1}, Config{N: 101, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if res[0].Main[i] != 0 || res[0].Total[i] != 0 {
+			t.Fatalf("constant model scored non-zero: %+v", res[0])
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	model := func(x []float64) []float64 { return []float64{x[0]} }
+	if _, err := Analyze(model, []float64{0}, []float64{1}, Config{N: 10, M: 4}); err == nil {
+		t.Error("tiny N accepted")
+	}
+	if _, err := Analyze(model, nil, nil, Config{N: 100}); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if _, err := Analyze(model, []float64{0, 0}, []float64{1}, Config{N: 100}); err == nil {
+		t.Error("mismatched bounds accepted")
+	}
+}
+
+func TestSamplesStayInBounds(t *testing.T) {
+	lo, hi := []float64{2, -5}, []float64{3, -1}
+	ok := true
+	model := func(x []float64) []float64 {
+		for i := range x {
+			if x[i] < lo[i]-1e-9 || x[i] > hi[i]+1e-9 {
+				ok = false
+			}
+		}
+		return []float64{x[0] + x[1]}
+	}
+	if _, err := Analyze(model, lo, hi, Config{N: 201, M: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("search curve left the bounds")
+	}
+}
+
+func TestRandomPhasesStillCorrect(t *testing.T) {
+	model := func(x []float64) []float64 { return []float64{3 * x[0]} }
+	res, err := Analyze(model, []float64{-1, -1}, []float64{1, 1},
+		Config{N: 601, M: 4, Rng: rng.New(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Main[0] < 0.8 || res[0].Main[1] > 0.05 {
+		t.Fatalf("random-phase indices wrong: %v", res[0].Main)
+	}
+}
+
+func TestFiveFactorLayout(t *testing.T) {
+	// Five factors (the AEDB case): the layout must produce valid
+	// frequencies and a sensible decomposition.
+	model := func(x []float64) []float64 {
+		return []float64{x[0] + 0.5*x[1] + 0.25*x[2] + 0.1*x[3] + 0.05*x[4]}
+	}
+	lo := []float64{-1, -1, -1, -1, -1}
+	hi := []float64{1, 1, 1, 1, 1}
+	res, err := Analyze(model, lo, hi, Config{N: 401, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	for i := 0; i < 4; i++ {
+		if r.Main[i] < r.Main[i+1] {
+			t.Fatalf("five-factor ranking broken: %v", r.Main)
+		}
+	}
+}
+
+func TestEffectDirection(t *testing.T) {
+	model := func(x []float64) []float64 {
+		return []float64{2 * x[0], -3 * x[1], 0.0001 * x[0]}
+	}
+	dirs := EffectDirection(model, []float64{-1, -1}, []float64{1, 1}, 400, rng.New(3))
+	if dirs[0][0] != 1 {
+		t.Fatalf("output 0 factor 0 direction = %d, want +1", dirs[0][0])
+	}
+	if dirs[1][1] != -1 {
+		t.Fatalf("output 1 factor 1 direction = %d, want -1", dirs[1][1])
+	}
+	if dirs[0][1] != 0 {
+		t.Fatalf("irrelevant factor direction = %d, want 0", dirs[0][1])
+	}
+}
+
+func TestInteractionsNonNegative(t *testing.T) {
+	model := func(x []float64) []float64 { return []float64{x[0] * math.Sin(x[1])} }
+	res, err := Analyze(model, []float64{-2, -2}, []float64{2, 2}, Config{N: 301, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res[0].Interactions() {
+		if v < 0 {
+			t.Fatalf("negative interaction %v", v)
+		}
+	}
+}

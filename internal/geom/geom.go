@@ -1,0 +1,237 @@
+// Package geom provides the small amount of 2-D geometry the MANET
+// substrate needs: vectors, axis-aligned rectangles, and a uniform spatial
+// hash grid for efficient radio range queries.
+package geom
+
+import "math"
+
+// Vec2 is a point or displacement in the plane.
+type Vec2 struct {
+	X, Y float64
+}
+
+// Add returns v + w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by k.
+func (v Vec2) Scale(k float64) Vec2 { return Vec2{v.X * k, v.Y * k} }
+
+// Dot returns the dot product of v and w.
+func (v Vec2) Dot(w Vec2) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Len returns the Euclidean norm of v.
+func (v Vec2) Len() float64 { return math.Hypot(v.X, v.Y) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec2) Dist(w Vec2) float64 { return v.Sub(w).Len() }
+
+// Dist2 returns the squared Euclidean distance between v and w.
+func (v Vec2) Dist2(w Vec2) float64 {
+	d := v.Sub(w)
+	return d.Dot(d)
+}
+
+// Unit returns the direction vector for angle theta (radians).
+func Unit(theta float64) Vec2 { return Vec2{math.Cos(theta), math.Sin(theta)} }
+
+// Rect is an axis-aligned rectangle [MinX,MaxX] x [MinY,MaxY].
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Square returns a square area of the given side with origin (0,0).
+func Square(side float64) Rect { return Rect{0, 0, side, side} }
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Contains reports whether p lies inside r (inclusive).
+func (r Rect) Contains(p Vec2) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Clamp returns p moved to the nearest point inside r.
+func (r Rect) Clamp(p Vec2) Vec2 {
+	return Vec2{math.Min(math.Max(p.X, r.MinX), r.MaxX),
+		math.Min(math.Max(p.Y, r.MinY), r.MaxY)}
+}
+
+// Reflect folds point p back into r, mirror-reflecting at the borders, and
+// reports which axes were flipped so callers can mirror a velocity vector.
+// It handles displacements of arbitrary size.
+func (r Rect) Reflect(p Vec2) (Vec2, bool, bool) {
+	x, fx := reflect1(p.X, r.MinX, r.MaxX)
+	y, fy := reflect1(p.Y, r.MinY, r.MaxY)
+	return Vec2{x, y}, fx, fy
+}
+
+// reflect1 mirrors coordinate v into [lo, hi], reporting whether an odd
+// number of reflections occurred.
+func reflect1(v, lo, hi float64) (float64, bool) {
+	if hi <= lo {
+		return lo, false
+	}
+	// Fast paths: inside, or one mirror away (the common case for mobility
+	// segments much shorter than the arena).
+	if v >= lo {
+		if v <= hi {
+			return v, false
+		}
+		if m := 2*hi - v; m >= lo {
+			return m, true
+		}
+	} else if m := 2*lo - v; m <= hi {
+		return m, true
+	}
+	span := hi - lo
+	// General case: map into a sawtooth of period 2*span.
+	t := math.Mod(v-lo, 2*span)
+	if t < 0 {
+		t += 2 * span
+	}
+	if t <= span {
+		return lo + t, false
+	}
+	return hi - (t - span), true
+}
+
+// Grid is a uniform spatial hash over a Rect. It answers "which points lie
+// within radius R of q" in O(points in nearby cells) instead of O(n),
+// which is the hot query of the broadcast medium (every transmission must
+// find its potential receivers).
+//
+// The grid stores int IDs; callers keep the ID -> position mapping.
+type Grid struct {
+	bounds   Rect
+	cellSize float64
+	nx, ny   int
+	cells    [][]int32
+	pos      map[int32]Vec2
+}
+
+// NewGrid creates a grid over bounds with the given cell size (typically
+// the maximum radio range, so a radius query touches at most 9 cells).
+func NewGrid(bounds Rect, cellSize float64) *Grid {
+	if cellSize <= 0 {
+		panic("geom: NewGrid with non-positive cell size")
+	}
+	nx := int(math.Ceil(bounds.Width()/cellSize)) + 1
+	ny := int(math.Ceil(bounds.Height()/cellSize)) + 1
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	return &Grid{
+		bounds:   bounds,
+		cellSize: cellSize,
+		nx:       nx,
+		ny:       ny,
+		cells:    make([][]int32, nx*ny),
+		pos:      make(map[int32]Vec2),
+	}
+}
+
+func (g *Grid) cellIndex(p Vec2) int {
+	cx := int((p.X - g.bounds.MinX) / g.cellSize)
+	cy := int((p.Y - g.bounds.MinY) / g.cellSize)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.nx {
+		cx = g.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.ny {
+		cy = g.ny - 1
+	}
+	return cy*g.nx + cx
+}
+
+// Reset removes all points, retaining allocated storage.
+func (g *Grid) Reset() {
+	for i := range g.cells {
+		g.cells[i] = g.cells[i][:0]
+	}
+	clear(g.pos)
+}
+
+// Insert adds (or moves) point id at position p.
+func (g *Grid) Insert(id int, p Vec2) {
+	iid := int32(id)
+	if old, ok := g.pos[iid]; ok {
+		g.removeFromCell(iid, g.cellIndex(old))
+	}
+	g.pos[iid] = p
+	ci := g.cellIndex(p)
+	g.cells[ci] = append(g.cells[ci], iid)
+}
+
+// Remove deletes point id if present.
+func (g *Grid) Remove(id int) {
+	iid := int32(id)
+	if old, ok := g.pos[iid]; ok {
+		g.removeFromCell(iid, g.cellIndex(old))
+		delete(g.pos, iid)
+	}
+}
+
+func (g *Grid) removeFromCell(id int32, ci int) {
+	cell := g.cells[ci]
+	for i, v := range cell {
+		if v == id {
+			cell[i] = cell[len(cell)-1]
+			g.cells[ci] = cell[:len(cell)-1]
+			return
+		}
+	}
+}
+
+// Len returns the number of stored points.
+func (g *Grid) Len() int { return len(g.pos) }
+
+// Position returns the stored position of id.
+func (g *Grid) Position(id int) (Vec2, bool) {
+	p, ok := g.pos[int32(id)]
+	return p, ok
+}
+
+// WithinRadius appends to dst the IDs of all points within radius of q
+// (excluding the point with ID exclude; pass a negative exclude to keep
+// all) and returns the extended slice. Order is unspecified.
+func (g *Grid) WithinRadius(dst []int, q Vec2, radius float64, exclude int) []int {
+	r2 := radius * radius
+	span := int(math.Ceil(radius / g.cellSize))
+	cx := int((q.X - g.bounds.MinX) / g.cellSize)
+	cy := int((q.Y - g.bounds.MinY) / g.cellSize)
+	for dy := -span; dy <= span; dy++ {
+		y := cy + dy
+		if y < 0 || y >= g.ny {
+			continue
+		}
+		for dx := -span; dx <= span; dx++ {
+			x := cx + dx
+			if x < 0 || x >= g.nx {
+				continue
+			}
+			for _, id := range g.cells[y*g.nx+x] {
+				if int(id) == exclude {
+					continue
+				}
+				if g.pos[id].Dist2(q) <= r2 {
+					dst = append(dst, int(id))
+				}
+			}
+		}
+	}
+	return dst
+}

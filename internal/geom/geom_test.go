@@ -1,0 +1,226 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"aedbmls/internal/rng"
+)
+
+func TestVecOps(t *testing.T) {
+	a, b := Vec2{1, 2}, Vec2{3, -1}
+	if got := a.Add(b); got != (Vec2{4, 1}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec2{-2, 3}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec2{2, 4}) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 1 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := (Vec2{3, 4}).Len(); got != 5 {
+		t.Fatalf("Len = %v", got)
+	}
+	if got := a.Dist(a); got != 0 {
+		t.Fatalf("Dist self = %v", got)
+	}
+}
+
+func TestDist2MatchesDist(t *testing.T) {
+	check := func(ax, ay, bx, by float64) bool {
+		if anyBad(ax, ay, bx, by) {
+			return true
+		}
+		a, b := Vec2{ax, ay}, Vec2{bx, by}
+		d, d2 := a.Dist(b), a.Dist2(b)
+		return math.Abs(d*d-d2) <= 1e-9*(1+d2)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func anyBad(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.Abs(v) > 1e8 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestUnitLength(t *testing.T) {
+	for theta := 0.0; theta < 7; theta += 0.1 {
+		if d := math.Abs(Unit(theta).Len() - 1); d > 1e-12 {
+			t.Fatalf("Unit(%f) length off by %g", theta, d)
+		}
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Square(100)
+	if r.Width() != 100 || r.Height() != 100 {
+		t.Fatalf("square dims: %v x %v", r.Width(), r.Height())
+	}
+	if !r.Contains(Vec2{50, 50}) || r.Contains(Vec2{-1, 50}) || r.Contains(Vec2{50, 101}) {
+		t.Fatal("Contains misbehaves")
+	}
+	if got := r.Clamp(Vec2{-5, 120}); got != (Vec2{0, 100}) {
+		t.Fatalf("Clamp = %v", got)
+	}
+}
+
+func TestReflectStaysInBounds(t *testing.T) {
+	r := Rect{10, 20, 110, 90}
+	check := func(x, y float64) bool {
+		if anyBad(x, y) {
+			return true
+		}
+		p, _, _ := r.Reflect(Vec2{x, y})
+		return r.Contains(p)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReflectIdentityInside(t *testing.T) {
+	r := Square(500)
+	p, fx, fy := r.Reflect(Vec2{250, 100})
+	if p != (Vec2{250, 100}) || fx || fy {
+		t.Fatalf("inside point changed: %v %v %v", p, fx, fy)
+	}
+}
+
+func TestReflectSingleMirror(t *testing.T) {
+	r := Square(100)
+	p, fx, _ := r.Reflect(Vec2{110, 50})
+	if p.X != 90 || !fx {
+		t.Fatalf("got %v fx=%v, want x=90 fx=true", p, fx)
+	}
+	p, fx, _ = r.Reflect(Vec2{-30, 50})
+	if p.X != 30 || !fx {
+		t.Fatalf("got %v fx=%v, want x=30 fx=true", p, fx)
+	}
+}
+
+func TestReflectFastSlowAgree(t *testing.T) {
+	// The fast single-mirror path must agree with the general sawtooth.
+	slow := func(v, lo, hi float64) float64 {
+		span := hi - lo
+		u := math.Mod(v-lo, 2*span)
+		if u < 0 {
+			u += 2 * span
+		}
+		if u <= span {
+			return lo + u
+		}
+		return hi - (u - span)
+	}
+	check := func(v float64) bool {
+		if anyBad(v) {
+			return true
+		}
+		got, _ := reflect1(v, 0, 500)
+		want := slow(v, 0, 500)
+		return math.Abs(got-want) < 1e-6
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReflectDegenerateRect(t *testing.T) {
+	r := Rect{5, 5, 5, 5}
+	p, _, _ := r.Reflect(Vec2{99, -3})
+	if p != (Vec2{5, 5}) {
+		t.Fatalf("degenerate rect reflect = %v", p)
+	}
+}
+
+func TestGridInsertQuery(t *testing.T) {
+	g := NewGrid(Square(100), 10)
+	g.Insert(0, Vec2{5, 5})
+	g.Insert(1, Vec2{8, 5})
+	g.Insert(2, Vec2{95, 95})
+	got := g.WithinRadius(nil, Vec2{5, 5}, 5, -1)
+	if len(got) != 2 {
+		t.Fatalf("WithinRadius returned %v, want ids 0 and 1", got)
+	}
+	got = g.WithinRadius(nil, Vec2{5, 5}, 5, 0)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("exclusion failed: %v", got)
+	}
+}
+
+func TestGridMoveAndRemove(t *testing.T) {
+	g := NewGrid(Square(100), 10)
+	g.Insert(7, Vec2{10, 10})
+	g.Insert(7, Vec2{90, 90}) // move
+	if got := g.WithinRadius(nil, Vec2{10, 10}, 15, -1); len(got) != 0 {
+		t.Fatalf("stale position found: %v", got)
+	}
+	if got := g.WithinRadius(nil, Vec2{90, 90}, 5, -1); len(got) != 1 {
+		t.Fatalf("moved position not found: %v", got)
+	}
+	g.Remove(7)
+	if g.Len() != 0 {
+		t.Fatalf("Len after remove = %d", g.Len())
+	}
+	g.Remove(7) // idempotent
+}
+
+func TestGridMatchesBruteForce(t *testing.T) {
+	r := rng.New(99)
+	bounds := Square(500)
+	g := NewGrid(bounds, 140)
+	pts := make([]Vec2, 200)
+	for i := range pts {
+		pts[i] = Vec2{r.Range(0, 500), r.Range(0, 500)}
+		g.Insert(i, pts[i])
+	}
+	for trial := 0; trial < 100; trial++ {
+		q := Vec2{r.Range(0, 500), r.Range(0, 500)}
+		radius := r.Range(1, 250)
+		got := g.WithinRadius(nil, q, radius, -1)
+		want := map[int]bool{}
+		for i, p := range pts {
+			if p.Dist(q) <= radius {
+				want[i] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: grid found %d, brute force %d", trial, len(got), len(want))
+		}
+		for _, id := range got {
+			if !want[id] {
+				t.Fatalf("trial %d: unexpected id %d", trial, id)
+			}
+		}
+	}
+}
+
+func TestGridReset(t *testing.T) {
+	g := NewGrid(Square(10), 1)
+	g.Insert(1, Vec2{5, 5})
+	g.Reset()
+	if g.Len() != 0 {
+		t.Fatal("Reset did not clear points")
+	}
+	if got := g.WithinRadius(nil, Vec2{5, 5}, 10, -1); len(got) != 0 {
+		t.Fatalf("query after reset: %v", got)
+	}
+}
+
+func TestGridPanicsOnBadCellSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGrid with cell size 0 did not panic")
+		}
+	}()
+	NewGrid(Square(10), 0)
+}

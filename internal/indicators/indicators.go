@@ -1,0 +1,312 @@
+// Package indicators implements the Pareto-front quality indicators the
+// paper compares the algorithms with (Sect. VI): hypervolume, inverted
+// generational distance and spread, plus generational distance and the
+// additive epsilon indicator as extras. A normalisation helper reproduces
+// the paper's protocol of rescaling every front by the combined reference
+// front before computing indicators.
+//
+// All indicators assume minimised objectives.
+package indicators
+
+import (
+	"math"
+	"sort"
+)
+
+// Point is an objective vector.
+type Point = []float64
+
+// Normalizer rescales objective vectors into [0,1]^m using the bounds of a
+// reference front, as the paper does before computing any indicator
+// ("all fronts were normalised ... using an approximation of the true
+// Pareto front built from the best solutions found by the three
+// algorithms").
+type Normalizer struct {
+	Lo, Hi []float64
+}
+
+// NewNormalizer computes bounds from the reference front.
+func NewNormalizer(ref []Point) *Normalizer {
+	if len(ref) == 0 {
+		return &Normalizer{}
+	}
+	m := len(ref[0])
+	n := &Normalizer{Lo: make([]float64, m), Hi: make([]float64, m)}
+	copy(n.Lo, ref[0])
+	copy(n.Hi, ref[0])
+	for _, p := range ref[1:] {
+		for i, v := range p {
+			if v < n.Lo[i] {
+				n.Lo[i] = v
+			}
+			if v > n.Hi[i] {
+				n.Hi[i] = v
+			}
+		}
+	}
+	return n
+}
+
+// Apply rescales a front; coordinates outside the reference bounds map
+// outside [0,1] (they are not clipped, preserving dominance relations).
+func (n *Normalizer) Apply(front []Point) []Point {
+	if len(n.Lo) == 0 {
+		return clonePoints(front)
+	}
+	out := make([]Point, len(front))
+	for i, p := range front {
+		q := make(Point, len(p))
+		for k, v := range p {
+			span := n.Hi[k] - n.Lo[k]
+			if span <= 0 {
+				q[k] = 0
+			} else {
+				q[k] = (v - n.Lo[k]) / span
+			}
+		}
+		out[i] = q
+	}
+	return out
+}
+
+func clonePoints(ps []Point) []Point {
+	out := make([]Point, len(ps))
+	for i, p := range ps {
+		out[i] = append(Point(nil), p...)
+	}
+	return out
+}
+
+func dist(a, b Point) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func distToSet(p Point, set []Point) float64 {
+	best := math.Inf(1)
+	for _, q := range set {
+		if d := dist(p, q); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// GD is the generational distance: the RMS distance from each front point
+// to its nearest reference point (Van Veldhuizen). Zero means the front
+// lies on the reference.
+func GD(front, ref []Point) float64 {
+	if len(front) == 0 || len(ref) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, p := range front {
+		d := distToSet(p, ref)
+		s += d * d
+	}
+	return math.Sqrt(s) / float64(len(front))
+}
+
+// IGD is the inverted generational distance (Eq. 3 of the paper): the RMS
+// distance from each reference point to the nearest front point, divided
+// by the reference size. Small is better; zero means the front covers the
+// reference.
+func IGD(front, ref []Point) float64 {
+	if len(front) == 0 || len(ref) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, r := range ref {
+		d := distToSet(r, front)
+		s += d * d
+	}
+	return math.Sqrt(s) / float64(len(ref))
+}
+
+// Spread is the generalized Delta diversity indicator (Eq. 4 of the
+// paper, extended to any number of objectives as in jMetal's
+// GeneralizedSpread): df and dl become the distances from the reference
+// extremes to the front, and the consecutive-distance term becomes each
+// point's nearest-neighbour distance within the front. Zero is a perfect
+// distribution; larger is worse.
+func Spread(front, ref []Point) float64 {
+	if len(front) == 0 || len(ref) == 0 {
+		return math.NaN()
+	}
+	m := len(front[0])
+	if len(front) == 1 {
+		return 1
+	}
+	// Distance from each objective-wise reference extreme to the front.
+	var extSum float64
+	for k := 0; k < m; k++ {
+		best := 0
+		for i, p := range ref {
+			if p[k] < ref[best][k] {
+				best = i
+			}
+		}
+		extSum += distToSet(ref[best], front)
+	}
+	// Nearest-neighbour distances within the front.
+	d := make([]float64, len(front))
+	var mean float64
+	for i, p := range front {
+		best := math.Inf(1)
+		for j, q := range front {
+			if i == j {
+				continue
+			}
+			if dd := dist(p, q); dd < best {
+				best = dd
+			}
+		}
+		d[i] = best
+		mean += best
+	}
+	mean /= float64(len(front))
+	var dev float64
+	for _, v := range d {
+		dev += math.Abs(v - mean)
+	}
+	den := extSum + float64(len(front))*mean
+	if den <= 0 {
+		return 0
+	}
+	return (extSum + dev) / den
+}
+
+// EpsilonAdditive is the unary additive epsilon indicator: the smallest
+// shift by which the front weakly dominates the reference. Zero or
+// negative means the front covers the reference.
+func EpsilonAdditive(front, ref []Point) float64 {
+	if len(front) == 0 || len(ref) == 0 {
+		return math.NaN()
+	}
+	eps := math.Inf(-1)
+	for _, r := range ref {
+		best := math.Inf(1)
+		for _, p := range front {
+			worst := math.Inf(-1)
+			for k := range p {
+				if d := p[k] - r[k]; d > worst {
+					worst = d
+				}
+			}
+			if worst < best {
+				best = worst
+			}
+		}
+		if best > eps {
+			eps = best
+		}
+	}
+	return eps
+}
+
+// Hypervolume computes the volume dominated by the front and bounded by
+// the reference point ref (Eq. 5; While et al.'s slicing scheme). Points
+// not strictly dominating ref contribute nothing. Supports 1-3 objectives
+// exactly; higher dimensions use a recursive slicing fallback.
+func Hypervolume(front []Point, ref Point) float64 {
+	var pts []Point
+	for _, p := range front {
+		ok := true
+		for k := range ref {
+			if p[k] >= ref[k] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pts = append(pts, p)
+		}
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	return hv(pts, ref)
+}
+
+func hv(pts []Point, ref Point) float64 {
+	switch len(ref) {
+	case 1:
+		best := math.Inf(1)
+		for _, p := range pts {
+			if p[0] < best {
+				best = p[0]
+			}
+		}
+		return ref[0] - best
+	case 2:
+		return hv2(pts, ref)
+	default:
+		return hvSlice(pts, ref)
+	}
+}
+
+// hv2 computes the 2-D hypervolume by a sorted sweep.
+func hv2(pts []Point, ref Point) float64 {
+	sorted := clonePoints(pts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i][0] != sorted[j][0] {
+			return sorted[i][0] < sorted[j][0]
+		}
+		return sorted[i][1] < sorted[j][1]
+	})
+	var vol float64
+	y := ref[1]
+	for _, p := range sorted {
+		if p[1] < y {
+			vol += (ref[0] - p[0]) * (y - p[1])
+			y = p[1]
+		}
+	}
+	return vol
+}
+
+// hvSlice slices along the last objective and recurses: between two
+// consecutive slice levels, the dominated area is that of the points at or
+// below the lower level, projected one dimension down.
+func hvSlice(pts []Point, ref Point) float64 {
+	last := len(ref) - 1
+	sorted := clonePoints(pts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i][last] < sorted[j][last] })
+	var vol float64
+	for i := 0; i < len(sorted); i++ {
+		depth := ref[last] - sorted[i][last]
+		if i+1 < len(sorted) {
+			depth = sorted[i+1][last] - sorted[i][last]
+		}
+		if depth <= 0 {
+			continue
+		}
+		proj := make([]Point, 0, i+1)
+		for j := 0; j <= i; j++ {
+			proj = append(proj, sorted[j][:last])
+		}
+		vol += depth * hv(proj, ref[:last])
+	}
+	return vol
+}
+
+// HypervolumeNormalized normalises both fronts by the reference and uses
+// the customary (1.1, ..., 1.1) reference point, matching the paper's
+// protocol of comparing hypervolumes of normalised fronts.
+func HypervolumeNormalized(front, ref []Point) float64 {
+	n := NewNormalizer(ref)
+	nf := n.Apply(front)
+	if len(ref) == 0 {
+		return math.NaN()
+	}
+	m := len(ref[0])
+	refPoint := make(Point, m)
+	for i := range refPoint {
+		refPoint[i] = 1.1
+	}
+	return Hypervolume(nf, refPoint)
+}

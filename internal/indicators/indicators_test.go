@@ -1,0 +1,225 @@
+package indicators
+
+import (
+	"math"
+	"testing"
+
+	"aedbmls/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestHypervolume2DKnown(t *testing.T) {
+	// Single point (0.5, 0.5) with ref (1,1): volume 0.25.
+	hv := Hypervolume([]Point{{0.5, 0.5}}, Point{1, 1})
+	if !almostEqual(hv, 0.25, 1e-12) {
+		t.Fatalf("hv = %v, want 0.25", hv)
+	}
+	// Two staircase points.
+	hv = Hypervolume([]Point{{0.25, 0.75}, {0.75, 0.25}}, Point{1, 1})
+	want := 0.75*0.25 + 0.25*0.75 - 0.25*0.25
+	// Union area: (1-0.25)*(1-0.75) + (1-0.75)*(1-0.25) - overlap (1-0.75)*(1-0.75)
+	if !almostEqual(hv, want, 1e-12) {
+		t.Fatalf("hv = %v, want %v", hv, want)
+	}
+}
+
+func TestHypervolume2DDominatedPointAddsNothing(t *testing.T) {
+	base := Hypervolume([]Point{{0.2, 0.2}}, Point{1, 1})
+	withDominated := Hypervolume([]Point{{0.2, 0.2}, {0.5, 0.5}}, Point{1, 1})
+	if !almostEqual(base, withDominated, 1e-12) {
+		t.Fatalf("dominated point changed hv: %v vs %v", base, withDominated)
+	}
+}
+
+func TestHypervolume3DKnown(t *testing.T) {
+	// Single point at the origin, ref (1,1,1): the unit cube.
+	hv := Hypervolume([]Point{{0, 0, 0}}, Point{1, 1, 1})
+	if !almostEqual(hv, 1, 1e-12) {
+		t.Fatalf("hv = %v, want 1", hv)
+	}
+	// Two disjoint-ish boxes.
+	hv = Hypervolume([]Point{{0, 0.5, 0.5}, {0.5, 0, 0}}, Point{1, 1, 1})
+	// Box1: 1*0.5*0.5 = 0.25; box2: 0.5*1*1 = 0.5; overlap: 0.5*0.5*0.5 = 0.125.
+	if !almostEqual(hv, 0.625, 1e-12) {
+		t.Fatalf("hv = %v, want 0.625", hv)
+	}
+}
+
+func TestHypervolumeIgnoresPointsOutsideRef(t *testing.T) {
+	hv := Hypervolume([]Point{{1.5, 0.1}, {2, 2}}, Point{1, 1})
+	if hv != 0 {
+		t.Fatalf("points at/beyond ref contributed %v", hv)
+	}
+}
+
+func TestHypervolumeMonotone(t *testing.T) {
+	r := rng.New(1)
+	ref := Point{1, 1, 1}
+	var pts []Point
+	prev := 0.0
+	for i := 0; i < 50; i++ {
+		pts = append(pts, Point{r.Range(0, 1), r.Range(0, 1), r.Range(0, 1)})
+		hv := Hypervolume(pts, ref)
+		if hv+1e-12 < prev {
+			t.Fatalf("hypervolume decreased when adding a point: %v -> %v", prev, hv)
+		}
+		prev = hv
+	}
+	if prev <= 0 || prev > 1 {
+		t.Fatalf("final hv = %v, want in (0, 1]", prev)
+	}
+}
+
+func TestHypervolume2DMatches3DWithSlack(t *testing.T) {
+	// Embedding a 2-D front into 3-D with a constant third coordinate
+	// scales the volume by the remaining depth.
+	front2 := []Point{{0.2, 0.7}, {0.5, 0.4}, {0.8, 0.1}}
+	var front3 []Point
+	for _, p := range front2 {
+		front3 = append(front3, Point{p[0], p[1], 0.5})
+	}
+	hv2 := Hypervolume(front2, Point{1, 1})
+	hv3 := Hypervolume(front3, Point{1, 1, 1})
+	if !almostEqual(hv3, hv2*0.5, 1e-12) {
+		t.Fatalf("3-D embedding hv = %v, want %v", hv3, hv2*0.5)
+	}
+}
+
+func TestIGDZeroOnCoveringFront(t *testing.T) {
+	ref := []Point{{0, 1}, {0.5, 0.5}, {1, 0}}
+	if got := IGD(ref, ref); got != 0 {
+		t.Fatalf("IGD(ref, ref) = %v", got)
+	}
+}
+
+func TestIGDDecreasesWithBetterCoverage(t *testing.T) {
+	ref := []Point{{0, 1}, {0.25, 0.75}, {0.5, 0.5}, {0.75, 0.25}, {1, 0}}
+	sparse := []Point{{0, 1}}
+	denser := []Point{{0, 1}, {0.5, 0.5}, {1, 0}}
+	if IGD(denser, ref) >= IGD(sparse, ref) {
+		t.Fatal("IGD did not improve with a denser front")
+	}
+}
+
+func TestGDZeroWhenOnRef(t *testing.T) {
+	ref := []Point{{0, 1}, {0.5, 0.5}, {1, 0}}
+	front := []Point{{0.5, 0.5}}
+	if got := GD(front, ref); got != 0 {
+		t.Fatalf("GD of on-reference front = %v", got)
+	}
+	off := []Point{{0.6, 0.6}}
+	if GD(off, ref) <= 0 {
+		t.Fatal("GD of off-reference front should be positive")
+	}
+}
+
+func TestSpreadPerfectDistributionSmall(t *testing.T) {
+	// Evenly spaced points covering the reference: near-ideal spread.
+	var front []Point
+	for i := 0; i <= 10; i++ {
+		x := float64(i) / 10
+		front = append(front, Point{x, 1 - x})
+	}
+	even := Spread(front, front)
+	// Clustered: same extremes but interior bunched together.
+	clustered := []Point{{0, 1}, {0.48, 0.52}, {0.5, 0.5}, {0.52, 0.48}, {1, 0}}
+	clu := Spread(clustered, front)
+	if even >= clu {
+		t.Fatalf("even spread %v not better than clustered %v", even, clu)
+	}
+}
+
+func TestSpreadSinglePoint(t *testing.T) {
+	ref := []Point{{0, 1}, {1, 0}}
+	if got := Spread([]Point{{0.5, 0.5}}, ref); got != 1 {
+		t.Fatalf("single-point spread = %v, want 1", got)
+	}
+}
+
+func TestEpsilonAdditive(t *testing.T) {
+	ref := []Point{{0, 0}}
+	front := []Point{{0.25, 0.1}}
+	if got := EpsilonAdditive(front, ref); !almostEqual(got, 0.25, 1e-12) {
+		t.Fatalf("epsilon = %v, want 0.25", got)
+	}
+	// A front covering the reference has epsilon <= 0.
+	if got := EpsilonAdditive(ref, ref); got > 0 {
+		t.Fatalf("self epsilon = %v, want <= 0", got)
+	}
+}
+
+func TestNormalizerMapsRefToUnitBox(t *testing.T) {
+	ref := []Point{{10, 100}, {20, 300}}
+	n := NewNormalizer(ref)
+	out := n.Apply(ref)
+	if out[0][0] != 0 || out[0][1] != 0 || out[1][0] != 1 || out[1][1] != 1 {
+		t.Fatalf("normalised ref = %v", out)
+	}
+	// Outside points map outside [0,1] without clipping.
+	probe := n.Apply([]Point{{5, 500}})
+	if probe[0][0] >= 0 || probe[0][1] <= 1 {
+		t.Fatalf("outside point clipped: %v", probe)
+	}
+}
+
+func TestNormalizerDegenerateAxis(t *testing.T) {
+	ref := []Point{{1, 5}, {2, 5}}
+	n := NewNormalizer(ref)
+	out := n.Apply([]Point{{1.5, 5}})
+	if out[0][1] != 0 {
+		t.Fatalf("degenerate axis mapped to %v, want 0", out[0][1])
+	}
+}
+
+func TestNormalizerPreservesDominance(t *testing.T) {
+	r := rng.New(2)
+	ref := []Point{{0, 0, 0}, {10, 5, 2}}
+	n := NewNormalizer(ref)
+	for trial := 0; trial < 500; trial++ {
+		a := Point{r.Range(0, 10), r.Range(0, 5), r.Range(0, 2)}
+		b := Point{r.Range(0, 10), r.Range(0, 5), r.Range(0, 2)}
+		na := n.Apply([]Point{a})[0]
+		nb := n.Apply([]Point{b})[0]
+		if dominatesP(a, b) != dominatesP(na, nb) {
+			t.Fatal("normalisation changed a dominance relation")
+		}
+	}
+}
+
+func dominatesP(a, b Point) bool {
+	better := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			better = true
+		}
+	}
+	return better
+}
+
+func TestHypervolumeNormalized(t *testing.T) {
+	ref := []Point{{0, 0}, {10, 10}}
+	front := []Point{{0, 0}}
+	// Normalised front point (0,0) against ref point (1.1, 1.1): 1.21.
+	if got := HypervolumeNormalized(front, ref); !almostEqual(got, 1.21, 1e-12) {
+		t.Fatalf("normalised hv = %v, want 1.21", got)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if !math.IsNaN(IGD(nil, []Point{{1}})) || !math.IsNaN(IGD([]Point{{1}}, nil)) {
+		t.Error("IGD with empty input should be NaN")
+	}
+	if !math.IsNaN(GD(nil, []Point{{1}})) {
+		t.Error("GD with empty input should be NaN")
+	}
+	if !math.IsNaN(Spread(nil, []Point{{1}})) {
+		t.Error("Spread with empty input should be NaN")
+	}
+	if Hypervolume(nil, Point{1, 1}) != 0 {
+		t.Error("empty hv should be 0")
+	}
+}

@@ -1,0 +1,549 @@
+// Package manet is the wireless mobile ad-hoc network substrate standing in
+// for ns-3 in the paper's evaluation loop.
+//
+// It simulates, on top of the internal/sim event engine:
+//
+//   - node mobility (internal/mobility trajectories, re-drawn by events);
+//   - a shared broadcast medium with log-distance attenuation, receiver
+//     sensitivity, half-duplex radios and a capture-threshold collision
+//     model;
+//   - periodic hello beaconing at the default transmission power, feeding
+//     per-node neighbor tables with the received signal strength of each
+//     neighbor (the cross-layer information AEDB relies on);
+//   - per-broadcast bookkeeping of exactly the four metrics the tuning
+//     problem observes: coverage, forwardings, energy and broadcast time.
+//
+// One Network is one single-goroutine simulation; parallelism happens at a
+// higher level by running many networks concurrently.
+package manet
+
+import (
+	"fmt"
+	"math"
+
+	"aedbmls/internal/geom"
+	"aedbmls/internal/mobility"
+	"aedbmls/internal/radio"
+	"aedbmls/internal/rng"
+	"aedbmls/internal/sim"
+)
+
+// Config describes a simulation scenario. DefaultScenario reproduces the
+// paper's Table II.
+type Config struct {
+	Area     geom.Rect
+	NumNodes int
+
+	// Mobility (random walk).
+	SpeedMin, SpeedMax float64 // m/s
+	ChangeInterval     float64 // s between direction/speed re-draws
+
+	// Radio.
+	PathLoss           radio.Model
+	DefaultTxPowerDBm  float64
+	SensitivityDBm     float64
+	CaptureThresholdDB float64
+	BitRateBps         float64
+	PropagationSpeed   float64 // m/s; 0 disables propagation delay
+
+	// Beaconing.
+	BeaconInterval  float64 // s
+	NeighborTimeout float64 // s without beacon before a neighbor is dropped
+	BeaconBytes     int
+	DataBytes       int
+
+	// FastBeacons delivers beacons instantaneously without frame-level
+	// collision modelling. Data frames always use the full collision
+	// path. This cuts the event count by an order of magnitude and is the
+	// default; accurate beacon contention is available for ablations.
+	FastBeacons bool
+
+	// Timeline.
+	WarmupTime float64 // nodes move before the broadcast starts
+	EndTime    float64 // absolute simulation end
+
+	// MakeMobility overrides node trajectories (tests pin nodes with
+	// mobility.Static). Nil uses the random-walk model of Table II.
+	MakeMobility func(id int, r *rng.Rand) mobility.Model
+
+	// Trace hooks, all optional (nil disables). They fire synchronously
+	// from the simulation loop, in event order, for data frames only:
+	// OnDataTx when a node transmits, OnDataRx on successful reception,
+	// OnDataLost when a reception is destroyed by collision or
+	// half-duplex conflict.
+	OnDataTx   func(node, msgID int, powerDBm, time float64)
+	OnDataRx   func(node, from, msgID int, rxPowerDBm, time float64)
+	OnDataLost func(node, from, msgID int, time float64)
+}
+
+// DefaultScenario returns the paper's ns-3 configuration (Table II) for a
+// network of numNodes devices: 500 m x 500 m arena, speeds in [0,2] m/s
+// re-drawn every 20 s, default TX power 16.02 dBm, 30 s warm-up, 40 s end.
+// Densities 100/200/300 devices/km^2 correspond to 25/50/75 nodes.
+func DefaultScenario(numNodes int) Config {
+	return Config{
+		Area:               geom.Square(500),
+		NumNodes:           numNodes,
+		SpeedMin:           0,
+		SpeedMax:           2,
+		ChangeInterval:     20,
+		PathLoss:           radio.NewLogDistanceDefault(),
+		DefaultTxPowerDBm:  radio.DefaultTxPowerDBm,
+		SensitivityDBm:     radio.DefaultSensitivityDBm,
+		CaptureThresholdDB: radio.DefaultCaptureThresholdDB,
+		BitRateBps:         1e6,
+		PropagationSpeed:   3e8,
+		BeaconInterval:     1.0,
+		NeighborTimeout:    3.0,
+		BeaconBytes:        32,
+		DataBytes:          256,
+		FastBeacons:        true,
+		WarmupTime:         30,
+		EndTime:            40,
+	}
+}
+
+// NodesForDensity converts a density in devices/km^2 into a node count for
+// the configured area (Table II uses a 0.25 km^2 arena).
+func NodesForDensity(area geom.Rect, perKm2 float64) int {
+	km2 := area.Width() * area.Height() / 1e6
+	return int(math.Round(perKm2 * km2))
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.NumNodes <= 0:
+		return fmt.Errorf("manet: NumNodes must be positive, got %d", c.NumNodes)
+	case c.Area.Width() <= 0 || c.Area.Height() <= 0:
+		return fmt.Errorf("manet: degenerate area %+v", c.Area)
+	case c.PathLoss == nil:
+		return fmt.Errorf("manet: PathLoss model is required")
+	case c.BitRateBps <= 0:
+		return fmt.Errorf("manet: BitRateBps must be positive")
+	case c.BeaconInterval <= 0:
+		return fmt.Errorf("manet: BeaconInterval must be positive")
+	case c.EndTime < c.WarmupTime:
+		return fmt.Errorf("manet: EndTime %.3f before WarmupTime %.3f", c.EndTime, c.WarmupTime)
+	}
+	return nil
+}
+
+// Message is a broadcast payload identified by ID; Origin is the source
+// node.
+type Message struct {
+	ID     int
+	Origin int
+}
+
+// Protocol is the interface a dissemination protocol implements per node.
+type Protocol interface {
+	// Init binds the protocol instance to its node; called once before
+	// the simulation starts.
+	Init(n *Node)
+	// Originate is invoked on the source node to start disseminating msg.
+	Originate(msg *Message)
+	// OnData is invoked on every successful data-frame reception, with the
+	// transmitting node's ID and the received signal strength.
+	OnData(msg *Message, from int, rxPowerDBm float64)
+}
+
+// NeighborEntry is one row of a node's neighbor table, learned via
+// beaconing: who the neighbor is, how strongly its last beacon was
+// received, and when.
+type NeighborEntry struct {
+	ID         int
+	RxPowerDBm float64
+	LastHeard  float64
+}
+
+// reception tracks one in-flight frame at one receiver.
+type reception struct {
+	from      int
+	powerDBm  float64
+	start     float64
+	end       float64
+	msg       *Message // nil for beacons
+	corrupted bool
+}
+
+// Node is one device: position (via mobility), radio state, neighbor table
+// and its protocol instance.
+type Node struct {
+	ID  int
+	net *Network
+	mob mobility.Model
+	// Rng is the node's private random stream (delays, jitter).
+	Rng *rng.Rand
+
+	proto     Protocol
+	neighbors map[int]NeighborEntry
+	active    []*reception
+	txUntil   float64
+
+	// Accounting.
+	TxEnergyMJ  float64
+	TxFrames    int
+	RxFrames    int
+	LostFrames  int
+	nbrsScratch []NeighborEntry
+}
+
+// Network returns the owning network (for scheduling, transmitting).
+func (n *Node) Network() *Network { return n.net }
+
+// Position returns the node position at the current simulation time.
+func (n *Node) Position() geom.Vec2 { return n.mob.Position(n.net.Sim.Now()) }
+
+// Neighbors returns the live neighbor entries (beacons heard within the
+// neighbor timeout). The returned slice is reused across calls; callers
+// must not retain it.
+func (n *Node) Neighbors() []NeighborEntry {
+	now := n.net.Sim.Now()
+	cutoff := now - n.net.Cfg.NeighborTimeout
+	n.nbrsScratch = n.nbrsScratch[:0]
+	for id, e := range n.neighbors {
+		if e.LastHeard < cutoff {
+			delete(n.neighbors, id)
+			continue
+		}
+		n.nbrsScratch = append(n.nbrsScratch, e)
+	}
+	return n.nbrsScratch
+}
+
+// Schedule runs fn after delay seconds of simulated time on this node's
+// network.
+func (n *Node) Schedule(delay float64, fn func()) *sim.Event {
+	return n.net.Sim.Schedule(delay, fn)
+}
+
+// Network is one simulation instance.
+type Network struct {
+	Sim   *sim.Simulator
+	Cfg   Config
+	Nodes []*Node
+	Rng   *rng.Rand
+
+	// positions caches every node position at posTime; transmissions
+	// cluster on shared instants, and with <= a few hundred nodes a linear
+	// scan over this slice beats any spatial index rebuild.
+	positions []geom.Vec2
+	posTime   float64
+	maxRange  float64
+
+	stats     map[int]*BroadcastStats
+	nextMsgID int
+	// Collisions counts data-frame receptions lost to interference or
+	// half-duplex conflicts.
+	Collisions int
+}
+
+// BroadcastStats aggregates the four paper metrics for one message.
+type BroadcastStats struct {
+	MessageID int
+	Source    int
+	SentAt    float64
+	// FirstRx maps node ID to the first successful reception time.
+	FirstRx map[int]float64
+	// Forwards counts data transmissions by non-source nodes.
+	Forwards int
+	// SourceSends counts data transmissions by the source.
+	SourceSends int
+	// TxPowerSumDBm is the paper's energy objective: the sum of the
+	// transmission power levels (in dBm) of every data transmission.
+	TxPowerSumDBm float64
+	// TxEnergyMJ is the physically integrated radiated energy.
+	TxEnergyMJ float64
+	// LastRx is the latest first-reception time (broadcast completion).
+	LastRx float64
+}
+
+// Coverage returns the number of devices (excluding the source) that
+// received the message.
+func (b *BroadcastStats) Coverage() int { return len(b.FirstRx) }
+
+// BroadcastTime returns the dissemination duration: last first-reception
+// minus send time; zero if nobody received the message.
+func (b *BroadcastStats) BroadcastTime() float64 {
+	if len(b.FirstRx) == 0 {
+		return 0
+	}
+	return b.LastRx - b.SentAt
+}
+
+// New builds a network of cfg.NumNodes random-walk nodes. Protocol
+// instances are created per node by makeProto (may be nil for
+// protocol-less networks, e.g. beaconing tests).
+func New(cfg Config, seed uint64, makeProto func(*Node) Protocol) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	master := rng.New(seed)
+	net := &Network{
+		Sim:   sim.New(),
+		Cfg:   cfg,
+		Rng:   master.Split(),
+		stats: make(map[int]*BroadcastStats),
+	}
+	net.maxRange = cfg.PathLoss.RangeFor(cfg.DefaultTxPowerDBm, cfg.SensitivityDBm)
+	net.positions = make([]geom.Vec2, cfg.NumNodes)
+	net.posTime = -1
+
+	for i := 0; i < cfg.NumNodes; i++ {
+		nodeRng := master.Split()
+		var mob mobility.Model
+		if cfg.MakeMobility != nil {
+			mob = cfg.MakeMobility(i, nodeRng.Split())
+		} else {
+			mob = mobility.NewRandomWalk(cfg.Area, cfg.SpeedMin, cfg.SpeedMax, cfg.ChangeInterval, nodeRng.Split())
+		}
+		n := &Node{
+			ID:        i,
+			net:       net,
+			mob:       mob,
+			Rng:       nodeRng,
+			neighbors: make(map[int]NeighborEntry),
+		}
+		net.Nodes = append(net.Nodes, n)
+	}
+	// Protocol instances after all nodes exist (they may inspect peers).
+	if makeProto != nil {
+		for _, n := range net.Nodes {
+			n.proto = makeProto(n)
+			n.proto.Init(n)
+		}
+	}
+	// Mobility change events.
+	for _, n := range net.Nodes {
+		net.scheduleMobility(n)
+	}
+	// Beacons with an initial phase jitter.
+	for _, n := range net.Nodes {
+		phase := n.Rng.Range(0, cfg.BeaconInterval)
+		node := n
+		net.Sim.At(phase, func() { net.beacon(node) })
+	}
+	return net, nil
+}
+
+func (net *Network) scheduleMobility(n *Node) {
+	next := n.mob.NextChange()
+	if math.IsInf(next, 1) || next > net.Cfg.EndTime {
+		return
+	}
+	net.Sim.At(next, func() {
+		n.mob.Advance()
+		net.invalidatePositions()
+		net.scheduleMobility(n)
+	})
+}
+
+func (net *Network) invalidatePositions() { net.posTime = -1 }
+
+// refreshPositions recomputes the position cache for the current instant.
+func (net *Network) refreshPositions() {
+	now := net.Sim.Now()
+	if net.posTime == now {
+		return
+	}
+	for i, n := range net.Nodes {
+		net.positions[i] = n.mob.Position(now)
+	}
+	net.posTime = now
+}
+
+// beacon transmits one hello frame and schedules the next.
+func (net *Network) beacon(n *Node) {
+	if net.Sim.Now() <= net.Cfg.EndTime {
+		if net.Cfg.FastBeacons {
+			net.fastBeacon(n)
+		} else {
+			net.transmitFrame(n, nil, net.Cfg.DefaultTxPowerDBm, net.Cfg.BeaconBytes)
+		}
+		net.Sim.Schedule(net.Cfg.BeaconInterval, func() { net.beacon(n) })
+	}
+}
+
+// fastBeacon updates neighbor tables instantly, without contention.
+func (net *Network) fastBeacon(n *Node) {
+	cfg := &net.Cfg
+	now := net.Sim.Now()
+	duration := float64(cfg.BeaconBytes*8) / cfg.BitRateBps
+	n.TxEnergyMJ += radio.TxEnergyMilliJoule(cfg.DefaultTxPowerDBm, duration)
+	n.TxFrames++
+	net.refreshPositions()
+	pos := net.positions[n.ID]
+	r2 := net.maxRange * net.maxRange
+	for id, rxPos := range net.positions {
+		d2 := pos.Dist2(rxPos)
+		if id == n.ID || d2 > r2 {
+			continue
+		}
+		rx := radio.RxPower(cfg.PathLoss, cfg.DefaultTxPowerDBm, math.Sqrt(d2))
+		if rx < cfg.SensitivityDBm {
+			continue
+		}
+		other := net.Nodes[id]
+		other.neighbors[n.ID] = NeighborEntry{ID: n.ID, RxPowerDBm: rx, LastHeard: now}
+		other.RxFrames++
+	}
+}
+
+// NewMessage allocates a message originating at the source node.
+func (net *Network) NewMessage(source int) *Message {
+	id := net.nextMsgID
+	net.nextMsgID++
+	return &Message{ID: id, Origin: source}
+}
+
+// StartBroadcast schedules the dissemination of a fresh message from the
+// source node at absolute time t and returns its stats collector.
+func (net *Network) StartBroadcast(source int, t float64) *BroadcastStats {
+	msg := net.NewMessage(source)
+	st := &BroadcastStats{MessageID: msg.ID, Source: source, SentAt: t, FirstRx: make(map[int]float64)}
+	net.stats[msg.ID] = st
+	net.Sim.At(t, func() {
+		n := net.Nodes[source]
+		if n.proto != nil {
+			n.proto.Originate(msg)
+		}
+	})
+	return st
+}
+
+// Stats returns the collector for a message ID.
+func (net *Network) Stats(msgID int) *BroadcastStats { return net.stats[msgID] }
+
+// TransmitData broadcasts a data frame carrying msg from node n at the
+// given power. Protocols call this; all metric accounting happens here.
+func (net *Network) TransmitData(n *Node, msg *Message, txPowerDBm float64) {
+	txPowerDBm = radio.ClampTxPower(txPowerDBm, net.Cfg.DefaultTxPowerDBm)
+	duration := float64(net.Cfg.DataBytes*8) / net.Cfg.BitRateBps
+	if st := net.stats[msg.ID]; st != nil {
+		if n.ID == msg.Origin {
+			st.SourceSends++
+		} else {
+			st.Forwards++
+		}
+		st.TxPowerSumDBm += txPowerDBm
+		st.TxEnergyMJ += radio.TxEnergyMilliJoule(txPowerDBm, duration)
+	}
+	if net.Cfg.OnDataTx != nil {
+		net.Cfg.OnDataTx(n.ID, msg.ID, txPowerDBm, net.Sim.Now())
+	}
+	net.transmitFrame(n, msg, txPowerDBm, net.Cfg.DataBytes)
+}
+
+// transmitFrame implements the shared medium: it finds every node within
+// the feasible range of the chosen power and schedules frame start/end
+// events that apply the half-duplex and capture-threshold rules.
+func (net *Network) transmitFrame(n *Node, msg *Message, txPowerDBm float64, bytes int) {
+	cfg := &net.Cfg
+	now := net.Sim.Now()
+	duration := float64(bytes*8) / cfg.BitRateBps
+	n.TxEnergyMJ += radio.TxEnergyMilliJoule(txPowerDBm, duration)
+	n.TxFrames++
+	// Half duplex: the sender cannot receive while transmitting, and any
+	// reception already in flight at the sender is lost.
+	if n.txUntil < now+duration {
+		n.txUntil = now + duration
+	}
+	for _, r := range n.active {
+		r.corrupted = true
+	}
+
+	net.refreshPositions()
+	pos := net.positions[n.ID]
+	reach := cfg.PathLoss.RangeFor(txPowerDBm, cfg.SensitivityDBm)
+	r2 := reach * reach
+	for id, rxPos := range net.positions {
+		d2 := pos.Dist2(rxPos)
+		if id == n.ID || d2 > r2 {
+			continue
+		}
+		other := net.Nodes[id]
+		d := math.Sqrt(d2)
+		rx := radio.RxPower(cfg.PathLoss, txPowerDBm, d)
+		if rx < cfg.SensitivityDBm {
+			continue
+		}
+		var prop float64
+		if cfg.PropagationSpeed > 0 {
+			prop = d / cfg.PropagationSpeed
+		}
+		rec := &reception{from: n.ID, powerDBm: rx, start: now + prop, end: now + prop + duration, msg: msg}
+		receiver := other
+		net.Sim.At(rec.start, func() { net.frameStart(receiver, rec) })
+	}
+}
+
+// frameStart registers an in-flight frame at the receiver and applies the
+// collision rules against every overlapping frame.
+func (net *Network) frameStart(n *Node, rec *reception) {
+	// Receiver mid-transmission loses the frame (half duplex).
+	if net.Sim.Now() < n.txUntil {
+		rec.corrupted = true
+	}
+	capture := net.Cfg.CaptureThresholdDB
+	for _, o := range n.active {
+		// Mutual capture check: a frame survives overlap only if it is at
+		// least `capture` dB stronger than the other.
+		if rec.powerDBm < o.powerDBm+capture {
+			rec.corrupted = true
+		}
+		if o.powerDBm < rec.powerDBm+capture {
+			o.corrupted = true
+		}
+	}
+	n.active = append(n.active, rec)
+	net.Sim.At(rec.end, func() { net.frameEnd(n, rec) })
+}
+
+// frameEnd finalises one reception: drop it from the active set and, if it
+// survived, deliver it to the neighbor table (beacon) or protocol (data).
+func (net *Network) frameEnd(n *Node, rec *reception) {
+	for i, o := range n.active {
+		if o == rec {
+			n.active[i] = n.active[len(n.active)-1]
+			n.active = n.active[:len(n.active)-1]
+			break
+		}
+	}
+	if rec.corrupted {
+		n.LostFrames++
+		if rec.msg != nil {
+			net.Collisions++
+			if net.Cfg.OnDataLost != nil {
+				net.Cfg.OnDataLost(n.ID, rec.from, rec.msg.ID, net.Sim.Now())
+			}
+		}
+		return
+	}
+	n.RxFrames++
+	now := net.Sim.Now()
+	if rec.msg == nil {
+		n.neighbors[rec.from] = NeighborEntry{ID: rec.from, RxPowerDBm: rec.powerDBm, LastHeard: now}
+		return
+	}
+	if st := net.stats[rec.msg.ID]; st != nil && n.ID != rec.msg.Origin {
+		if _, seen := st.FirstRx[n.ID]; !seen {
+			st.FirstRx[n.ID] = now
+			if now > st.LastRx {
+				st.LastRx = now
+			}
+		}
+	}
+	if net.Cfg.OnDataRx != nil {
+		net.Cfg.OnDataRx(n.ID, rec.from, rec.msg.ID, rec.powerDBm, now)
+	}
+	if n.proto != nil {
+		n.proto.OnData(rec.msg, rec.from, rec.powerDBm)
+	}
+}
+
+// Run executes the simulation until cfg.EndTime.
+func (net *Network) Run() { net.Sim.RunUntil(net.Cfg.EndTime) }
+
+// MaxRange returns the radio range at the default transmission power.
+func (net *Network) MaxRange() float64 { return net.maxRange }

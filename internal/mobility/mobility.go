@@ -1,0 +1,167 @@
+// Package mobility provides node mobility models for the MANET substrate.
+//
+// The paper's evaluation uses the random-walk model (Table II): each node
+// picks a uniform direction and a uniform speed in [0, 2] m/s and keeps
+// them for 20 s, reflecting off the borders of the 500 m x 500 m arena.
+// RandomWaypoint and Static models are provided as extras for tests and
+// ablations.
+//
+// Models expose an analytic Position(t); trajectories are piecewise linear
+// so the simulator does not need per-tick position updates. NextChange
+// tells the event engine when the trajectory changes shape.
+package mobility
+
+import (
+	"math"
+
+	"aedbmls/internal/geom"
+	"aedbmls/internal/rng"
+)
+
+// Model yields a node trajectory. Implementations are deterministic given
+// their RNG stream.
+type Model interface {
+	// Position returns the node position at time t. t must be
+	// non-decreasing across calls interleaved with Advance.
+	Position(t float64) geom.Vec2
+	// NextChange returns the time of the next trajectory change
+	// (+Inf if the trajectory never changes).
+	NextChange() float64
+	// Advance recomputes the trajectory at its NextChange time. The
+	// engine calls it exactly once per change event.
+	Advance()
+}
+
+// RandomWalk implements the random-walk (random direction) model of the
+// paper: uniform direction in [0, 2*pi), uniform speed in [SpeedMin,
+// SpeedMax], redrawn every Interval seconds; reflective borders.
+type RandomWalk struct {
+	Bounds   geom.Rect
+	SpeedMin float64
+	SpeedMax float64
+	Interval float64
+
+	rng      *rng.Rand
+	origin   geom.Vec2 // position at segStart
+	velocity geom.Vec2
+	segStart float64
+	segEnd   float64
+}
+
+// NewRandomWalk creates a walker starting at a uniform position in bounds.
+func NewRandomWalk(bounds geom.Rect, speedMin, speedMax, interval float64, r *rng.Rand) *RandomWalk {
+	w := &RandomWalk{
+		Bounds:   bounds,
+		SpeedMin: speedMin,
+		SpeedMax: speedMax,
+		Interval: interval,
+		rng:      r,
+		origin:   geom.Vec2{X: r.Range(bounds.MinX, bounds.MaxX), Y: r.Range(bounds.MinY, bounds.MaxY)},
+	}
+	w.redraw(0)
+	return w
+}
+
+func (w *RandomWalk) redraw(t float64) {
+	theta := w.rng.Range(0, 2*math.Pi)
+	speed := w.rng.Range(w.SpeedMin, w.SpeedMax)
+	w.velocity = geom.Unit(theta).Scale(speed)
+	w.segStart = t
+	w.segEnd = t + w.Interval
+}
+
+// Position implements Model. Reflection is applied analytically, so the
+// position is exact for any t within the current segment.
+func (w *RandomWalk) Position(t float64) geom.Vec2 {
+	dt := t - w.segStart
+	if dt < 0 {
+		dt = 0
+	}
+	raw := w.origin.Add(w.velocity.Scale(dt))
+	p, _, _ := w.Bounds.Reflect(raw)
+	return p
+}
+
+// NextChange implements Model.
+func (w *RandomWalk) NextChange() float64 { return w.segEnd }
+
+// Advance implements Model.
+func (w *RandomWalk) Advance() {
+	// Fold the end-of-segment position (and the velocity orientation that
+	// reflections imply) into a fresh origin, then redraw.
+	raw := w.origin.Add(w.velocity.Scale(w.segEnd - w.segStart))
+	p, _, _ := w.Bounds.Reflect(raw)
+	w.origin = p
+	w.redraw(w.segEnd)
+}
+
+// RandomWaypoint implements the classic random-waypoint model: pick a
+// uniform destination, travel at uniform speed, optionally pause, repeat.
+type RandomWaypoint struct {
+	Bounds   geom.Rect
+	SpeedMin float64
+	SpeedMax float64
+	Pause    float64
+
+	rng      *rng.Rand
+	from, to geom.Vec2
+	segStart float64
+	arrive   float64
+	segEnd   float64 // arrive + pause
+}
+
+// NewRandomWaypoint creates a waypoint walker starting at a uniform
+// position.
+func NewRandomWaypoint(bounds geom.Rect, speedMin, speedMax, pause float64, r *rng.Rand) *RandomWaypoint {
+	w := &RandomWaypoint{Bounds: bounds, SpeedMin: speedMin, SpeedMax: speedMax, Pause: pause, rng: r}
+	w.from = geom.Vec2{X: r.Range(bounds.MinX, bounds.MaxX), Y: r.Range(bounds.MinY, bounds.MaxY)}
+	w.pickLeg(0)
+	return w
+}
+
+func (w *RandomWaypoint) pickLeg(t float64) {
+	w.to = geom.Vec2{X: w.rng.Range(w.Bounds.MinX, w.Bounds.MaxX), Y: w.rng.Range(w.Bounds.MinY, w.Bounds.MaxY)}
+	speed := w.rng.Range(w.SpeedMin, w.SpeedMax)
+	if speed <= 0 {
+		speed = 1e-9
+	}
+	w.segStart = t
+	w.arrive = t + w.from.Dist(w.to)/speed
+	w.segEnd = w.arrive + w.Pause
+}
+
+// Position implements Model.
+func (w *RandomWaypoint) Position(t float64) geom.Vec2 {
+	if t >= w.arrive {
+		return w.to
+	}
+	if t <= w.segStart {
+		return w.from
+	}
+	frac := (t - w.segStart) / (w.arrive - w.segStart)
+	return w.from.Add(w.to.Sub(w.from).Scale(frac))
+}
+
+// NextChange implements Model.
+func (w *RandomWaypoint) NextChange() float64 { return w.segEnd }
+
+// Advance implements Model.
+func (w *RandomWaypoint) Advance() {
+	w.from = w.to
+	w.pickLeg(w.segEnd)
+}
+
+// Static is a motionless node, useful for unit tests and the MEB-style
+// static-network ablations.
+type Static struct {
+	P geom.Vec2
+}
+
+// Position implements Model.
+func (s *Static) Position(float64) geom.Vec2 { return s.P }
+
+// NextChange implements Model.
+func (s *Static) NextChange() float64 { return math.Inf(1) }
+
+// Advance implements Model.
+func (s *Static) Advance() {}

@@ -1,0 +1,254 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"aedbmls/internal/geom"
+	"aedbmls/internal/rng"
+)
+
+// drive advances a model through its change events up to time end,
+// sampling positions at step intervals and calling check on each.
+func drive(m Model, end, step float64, check func(t float64, p geom.Vec2)) {
+	next := m.NextChange()
+	for t := 0.0; t <= end; t += step {
+		for t >= next {
+			m.Advance()
+			next = m.NextChange()
+		}
+		check(t, m.Position(t))
+	}
+}
+
+func TestRandomWalkStaysInBounds(t *testing.T) {
+	bounds := geom.Square(500)
+	check := func(seed uint64) bool {
+		w := NewRandomWalk(bounds, 0, 2, 20, rng.New(seed))
+		ok := true
+		drive(w, 200, 0.5, func(_ float64, p geom.Vec2) {
+			if !bounds.Contains(p) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomWalkSpeedBounded(t *testing.T) {
+	bounds := geom.Square(500)
+	w := NewRandomWalk(bounds, 0.5, 2, 20, rng.New(7))
+	var prev geom.Vec2
+	first := true
+	const dt = 0.25
+	drive(w, 100, dt, func(_ float64, p geom.Vec2) {
+		if !first {
+			// Reflection can only shorten apparent displacement, so the
+			// upper bound holds strictly.
+			if speed := prev.Dist(p) / dt; speed > 2.0001 {
+				t.Fatalf("instantaneous speed %.3f exceeds max 2", speed)
+			}
+		}
+		prev, first = p, false
+	})
+}
+
+func TestRandomWalkChangesEvery20s(t *testing.T) {
+	w := NewRandomWalk(geom.Square(500), 0, 2, 20, rng.New(3))
+	if w.NextChange() != 20 {
+		t.Fatalf("first change at %v, want 20", w.NextChange())
+	}
+	w.Advance()
+	if w.NextChange() != 40 {
+		t.Fatalf("second change at %v, want 40", w.NextChange())
+	}
+}
+
+func TestRandomWalkDeterministic(t *testing.T) {
+	a := NewRandomWalk(geom.Square(500), 0, 2, 20, rng.New(11))
+	b := NewRandomWalk(geom.Square(500), 0, 2, 20, rng.New(11))
+	for i := 0; i < 5; i++ {
+		ta := float64(i) * 7.5
+		if a.Position(ta) != b.Position(ta) {
+			t.Fatalf("same-seed walkers diverged at t=%v", ta)
+		}
+		if ta >= a.NextChange() {
+			a.Advance()
+			b.Advance()
+		}
+	}
+}
+
+func TestRandomWalkContinuousAcrossAdvance(t *testing.T) {
+	w := NewRandomWalk(geom.Square(500), 1, 2, 20, rng.New(5))
+	before := w.Position(20)
+	w.Advance()
+	after := w.Position(20)
+	if before.Dist(after) > 1e-9 {
+		t.Fatalf("position jumped across Advance: %v -> %v", before, after)
+	}
+}
+
+func TestRandomWaypointStaysInBounds(t *testing.T) {
+	bounds := geom.Square(300)
+	check := func(seed uint64) bool {
+		w := NewRandomWaypoint(bounds, 0.5, 2, 1, rng.New(seed))
+		ok := true
+		drive(w, 300, 1, func(_ float64, p geom.Vec2) {
+			if !bounds.Contains(p) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomWaypointReachesDestination(t *testing.T) {
+	w := NewRandomWaypoint(geom.Square(300), 1, 1, 0.5, rng.New(9))
+	dest := w.to
+	arrival := w.arrive
+	if got := w.Position(arrival + 0.1); got != dest {
+		t.Fatalf("position after arrival = %v, want %v", got, dest)
+	}
+	// During the pause the node stays put.
+	if got := w.Position(w.segEnd - 1e-6); got != dest {
+		t.Fatalf("position during pause = %v, want %v", got, dest)
+	}
+}
+
+func TestRandomWaypointAdvanceStartsFromDestination(t *testing.T) {
+	w := NewRandomWaypoint(geom.Square(300), 1, 1, 0, rng.New(13))
+	dest := w.to
+	w.Advance()
+	if w.from != dest {
+		t.Fatalf("new leg starts at %v, want previous destination %v", w.from, dest)
+	}
+}
+
+func TestStatic(t *testing.T) {
+	s := &Static{P: geom.Vec2{X: 3, Y: 4}}
+	if s.Position(0) != s.Position(1e9) {
+		t.Fatal("static node moved")
+	}
+	if !math.IsInf(s.NextChange(), 1) {
+		t.Fatal("static NextChange should be +Inf")
+	}
+	s.Advance() // must not panic
+}
+
+func TestWalkersDiffer(t *testing.T) {
+	a := NewRandomWalk(geom.Square(500), 0, 2, 20, rng.New(1))
+	b := NewRandomWalk(geom.Square(500), 0, 2, 20, rng.New(2))
+	if a.Position(0) == b.Position(0) {
+		t.Fatal("different seeds placed nodes identically (suspicious)")
+	}
+}
+
+func TestGaussMarkovStaysInBounds(t *testing.T) {
+	bounds := geom.Square(500)
+	check := func(seed uint64) bool {
+		g := NewGaussMarkov(bounds, 0.75, 1.5, 1, rng.New(seed))
+		ok := true
+		drive(g, 300, 0.5, func(_ float64, p geom.Vec2) {
+			if !bounds.Contains(p) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaussMarkovMemoryExtremes(t *testing.T) {
+	bounds := geom.Square(1e6) // effectively unbounded: no edge steering
+	// Memory 1: direction and speed never change.
+	g := NewGaussMarkov(bounds, 1, 2, 1, rng.New(3))
+	d0, s0 := g.dir, g.speed
+	for i := 0; i < 10; i++ {
+		g.Advance()
+	}
+	if g.dir != d0 || g.speed != s0 {
+		t.Fatalf("memory=1 trajectory changed: dir %v->%v speed %v->%v", d0, g.dir, s0, g.speed)
+	}
+	// Memory 0: direction decorrelates quickly.
+	g0 := NewGaussMarkov(bounds, 0, 2, 1, rng.New(4))
+	changed := false
+	d0 = g0.dir
+	for i := 0; i < 5; i++ {
+		g0.Advance()
+		if g0.dir != d0 {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("memory=0 direction froze")
+	}
+}
+
+func TestGaussMarkovMeanSpeedTracked(t *testing.T) {
+	bounds := geom.Square(1e6)
+	g := NewGaussMarkov(bounds, 0.6, 2, 1, rng.New(5))
+	var sum float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		g.Advance()
+		sum += g.speed
+	}
+	mean := sum / n
+	if mean < 1.6 || mean > 2.4 {
+		t.Fatalf("long-run mean speed = %v, want approx 2", mean)
+	}
+}
+
+func TestGaussMarkovSmootherThanRandomWalk(t *testing.T) {
+	// With high memory, consecutive direction changes must be smaller on
+	// average than the random walk's uniform redraws.
+	bounds := geom.Square(1e6)
+	g := NewGaussMarkov(bounds, 0.9, 2, 1, rng.New(6))
+	var gmDelta float64
+	prev := g.dir
+	const n = 2000
+	for i := 0; i < n; i++ {
+		g.Advance()
+		gmDelta += math.Abs(angleDiff(g.dir, prev))
+		prev = g.dir
+	}
+	gmDelta /= n
+	// Uniform redraw expected |delta| is pi/2 on a circle.
+	if gmDelta > 1.0 {
+		t.Fatalf("gauss-markov mean direction change %v rad, want well below uniform redraw", gmDelta)
+	}
+}
+
+func angleDiff(a, b float64) float64 {
+	d := math.Mod(a-b, 2*math.Pi)
+	if d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	if d < -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d
+}
+
+func TestGaussMarkovDeterministic(t *testing.T) {
+	bounds := geom.Square(500)
+	a := NewGaussMarkov(bounds, 0.7, 1.5, 1, rng.New(7))
+	b := NewGaussMarkov(bounds, 0.7, 1.5, 1, rng.New(7))
+	for i := 0; i < 50; i++ {
+		a.Advance()
+		b.Advance()
+		if a.Position(a.segStart) != b.Position(b.segStart) {
+			t.Fatalf("same-seed Gauss-Markov walkers diverged at step %d", i)
+		}
+	}
+}

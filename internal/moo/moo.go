@@ -1,0 +1,261 @@
+// Package moo holds the multi-objective optimisation vocabulary shared by
+// every algorithm in this repository: solutions, constrained Pareto
+// dominance, non-dominated filtering and sorting, and the Problem
+// interface the optimisers work against.
+//
+// Objectives are always minimised; problems that maximise a quantity (such
+// as AEDB's coverage) negate it. Constraints are expressed as a scalar
+// violation: zero means feasible.
+package moo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solution is one evaluated point of a problem.
+type Solution struct {
+	// X is the decision vector.
+	X []float64
+	// F is the objective vector, all components minimised.
+	F []float64
+	// Violation is the constraint violation; <= 0 means feasible.
+	Violation float64
+	// Aux carries problem-specific evaluation detail (e.g. the raw AEDB
+	// metrics) for reporting; algorithms must not interpret it.
+	Aux any
+}
+
+// Feasible reports whether the solution satisfies all constraints.
+func (s *Solution) Feasible() bool { return s.Violation <= 0 }
+
+// Clone returns a deep copy of the solution (Aux is shared).
+func (s *Solution) Clone() *Solution {
+	c := &Solution{Violation: s.Violation, Aux: s.Aux}
+	c.X = append([]float64(nil), s.X...)
+	c.F = append([]float64(nil), s.F...)
+	return c
+}
+
+// String renders the solution compactly.
+func (s *Solution) String() string {
+	return fmt.Sprintf("x=%v f=%v viol=%.4g", s.X, s.F, s.Violation)
+}
+
+// Problem is a box-constrained multi-objective minimisation problem.
+// Implementations must be safe for concurrent Evaluate calls.
+type Problem interface {
+	// Name identifies the problem in reports.
+	Name() string
+	// Dim returns the decision-space dimension.
+	Dim() int
+	// NumObjectives returns the number of (minimised) objectives.
+	NumObjectives() int
+	// Bounds returns the lower and upper decision bounds (length Dim).
+	Bounds() (lo, hi []float64)
+	// Evaluate computes objectives and constraint violation for x.
+	// x must be within bounds; Evaluate must not retain or modify x.
+	Evaluate(x []float64) (f []float64, violation float64, aux any)
+}
+
+// NewSolution evaluates x on p and wraps the result.
+func NewSolution(p Problem, x []float64) *Solution {
+	f, viol, aux := p.Evaluate(x)
+	return &Solution{X: append([]float64(nil), x...), F: f, Violation: viol, Aux: aux}
+}
+
+// ParetoDominates reports strict Pareto dominance of objective vector a
+// over b (a no worse everywhere, strictly better somewhere).
+func ParetoDominates(a, b []float64) bool {
+	better := false
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			better = true
+		case a[i] > b[i]:
+			return false
+		}
+	}
+	return better
+}
+
+// Dominates applies Deb's constrained-dominance rule: a feasible solution
+// dominates an infeasible one; between two infeasible solutions the
+// smaller violation dominates; between two feasible solutions plain Pareto
+// dominance decides.
+func Dominates(a, b *Solution) bool {
+	af, bf := a.Feasible(), b.Feasible()
+	switch {
+	case af && !bf:
+		return true
+	case !af && bf:
+		return false
+	case !af && !bf:
+		return a.Violation < b.Violation
+	default:
+		return ParetoDominates(a.F, b.F)
+	}
+}
+
+// EqualF reports whether two solutions have identical objective vectors
+// and violations (used by archives to reject duplicates).
+func EqualF(a, b *Solution) bool {
+	if a.Violation != b.Violation || len(a.F) != len(b.F) {
+		return false
+	}
+	for i := range a.F {
+		if a.F[i] != b.F[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ParetoFilter returns the non-dominated subset of sols (first occurrence
+// wins among duplicates). The input slice is not modified.
+func ParetoFilter(sols []*Solution) []*Solution {
+	var out []*Solution
+	for i, s := range sols {
+		dominated := false
+		for j, t := range sols {
+			if i == j {
+				continue
+			}
+			if Dominates(t, s) || (EqualF(t, s) && j < i) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FastNonDominatedSort partitions sols into fronts (Deb's NSGA-II
+// algorithm, O(M N^2)). It returns slices of indices into sols; front 0 is
+// the non-dominated set under constrained dominance.
+func FastNonDominatedSort(sols []*Solution) [][]int {
+	n := len(sols)
+	dominatesList := make([][]int, n)
+	domCount := make([]int, n)
+	var first []int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if Dominates(sols[i], sols[j]) {
+				dominatesList[i] = append(dominatesList[i], j)
+			} else if Dominates(sols[j], sols[i]) {
+				domCount[i]++
+			}
+		}
+		if domCount[i] == 0 {
+			first = append(first, i)
+		}
+	}
+	var fronts [][]int
+	cur := first
+	for len(cur) > 0 {
+		fronts = append(fronts, cur)
+		var next []int
+		for _, i := range cur {
+			for _, j := range dominatesList[i] {
+				domCount[j]--
+				if domCount[j] == 0 {
+					next = append(next, j)
+				}
+			}
+		}
+		cur = next
+	}
+	return fronts
+}
+
+// CrowdingDistances returns Deb's crowding distance for each solution
+// (boundary solutions get +Inf). Used by NSGA-II and the CellDE archive.
+func CrowdingDistances(sols []*Solution) []float64 {
+	n := len(sols)
+	d := make([]float64, n)
+	if n == 0 {
+		return d
+	}
+	m := len(sols[0].F)
+	if n <= 2 {
+		for i := range d {
+			d[i] = math.Inf(1)
+		}
+		return d
+	}
+	idx := make([]int, n)
+	for k := 0; k < m; k++ {
+		for i := range idx {
+			idx[i] = i
+		}
+		// Insertion sort by objective k (fronts are small).
+		for i := 1; i < n; i++ {
+			j := i
+			for j > 0 && sols[idx[j-1]].F[k] > sols[idx[j]].F[k] {
+				idx[j-1], idx[j] = idx[j], idx[j-1]
+				j--
+			}
+		}
+		span := sols[idx[n-1]].F[k] - sols[idx[0]].F[k]
+		d[idx[0]] = math.Inf(1)
+		d[idx[n-1]] = math.Inf(1)
+		if span <= 0 {
+			continue
+		}
+		for i := 1; i < n-1; i++ {
+			d[idx[i]] += (sols[idx[i+1]].F[k] - sols[idx[i-1]].F[k]) / span
+		}
+	}
+	return d
+}
+
+// Clamp clips x (in place) into [lo, hi] component-wise and returns it.
+func Clamp(x, lo, hi []float64) []float64 {
+	for i := range x {
+		if x[i] < lo[i] {
+			x[i] = lo[i]
+		}
+		if x[i] > hi[i] {
+			x[i] = hi[i]
+		}
+	}
+	return x
+}
+
+// Ideal returns the component-wise minimum objective vector of the set.
+func Ideal(sols []*Solution) []float64 {
+	if len(sols) == 0 {
+		return nil
+	}
+	out := append([]float64(nil), sols[0].F...)
+	for _, s := range sols[1:] {
+		for i, v := range s.F {
+			if v < out[i] {
+				out[i] = v
+			}
+		}
+	}
+	return out
+}
+
+// Nadir returns the component-wise maximum objective vector of the set.
+func Nadir(sols []*Solution) []float64 {
+	if len(sols) == 0 {
+		return nil
+	}
+	out := append([]float64(nil), sols[0].F...)
+	for _, s := range sols[1:] {
+		for i, v := range s.F {
+			if v > out[i] {
+				out[i] = v
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+package moo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"aedbmls/internal/rng"
+)
+
+func sol(f []float64, viol float64) *Solution {
+	return &Solution{X: []float64{0}, F: f, Violation: viol}
+}
+
+func TestParetoDominatesBasics(t *testing.T) {
+	if !ParetoDominates([]float64{1, 1}, []float64{2, 2}) {
+		t.Error("strictly better not dominating")
+	}
+	if !ParetoDominates([]float64{1, 2}, []float64{2, 2}) {
+		t.Error("weakly better not dominating")
+	}
+	if ParetoDominates([]float64{1, 3}, []float64{2, 2}) {
+		t.Error("incomparable dominating")
+	}
+	if ParetoDominates([]float64{2, 2}, []float64{2, 2}) {
+		t.Error("equal vector dominating (must be strict)")
+	}
+}
+
+func TestParetoDominanceIrreflexiveAsymmetric(t *testing.T) {
+	r := rng.New(1)
+	check := func() bool {
+		a := []float64{r.Range(0, 1), r.Range(0, 1), r.Range(0, 1)}
+		b := []float64{r.Range(0, 1), r.Range(0, 1), r.Range(0, 1)}
+		if ParetoDominates(a, a) {
+			return false
+		}
+		if ParetoDominates(a, b) && ParetoDominates(b, a) {
+			return false
+		}
+		return true
+	}
+	for i := 0; i < 2000; i++ {
+		if !check() {
+			t.Fatal("dominance axioms violated")
+		}
+	}
+}
+
+func TestParetoDominanceTransitive(t *testing.T) {
+	r := rng.New(2)
+	for i := 0; i < 5000; i++ {
+		a := []float64{r.Range(0, 1), r.Range(0, 1)}
+		b := []float64{r.Range(0, 1), r.Range(0, 1)}
+		c := []float64{r.Range(0, 1), r.Range(0, 1)}
+		if ParetoDominates(a, b) && ParetoDominates(b, c) && !ParetoDominates(a, c) {
+			t.Fatalf("transitivity violated: %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestConstrainedDominance(t *testing.T) {
+	feasible := sol([]float64{5, 5}, 0)
+	infeasible := sol([]float64{0, 0}, 1)
+	if !Dominates(feasible, infeasible) {
+		t.Error("feasible must dominate infeasible regardless of objectives")
+	}
+	if Dominates(infeasible, feasible) {
+		t.Error("infeasible dominating feasible")
+	}
+	lessViolated := sol([]float64{9, 9}, 0.5)
+	if !Dominates(lessViolated, infeasible) {
+		t.Error("smaller violation must dominate larger")
+	}
+	a, b := sol([]float64{1, 2}, 0), sol([]float64{2, 1}, 0)
+	if Dominates(a, b) || Dominates(b, a) {
+		t.Error("incomparable feasible solutions dominating")
+	}
+}
+
+func TestEqualF(t *testing.T) {
+	if !EqualF(sol([]float64{1, 2}, 0), sol([]float64{1, 2}, 0)) {
+		t.Error("identical not equal")
+	}
+	if EqualF(sol([]float64{1, 2}, 0), sol([]float64{1, 2}, 0.1)) {
+		t.Error("different violation considered equal")
+	}
+	if EqualF(sol([]float64{1, 2}, 0), sol([]float64{1, 3}, 0)) {
+		t.Error("different F considered equal")
+	}
+}
+
+func TestParetoFilterProperties(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 50; trial++ {
+		var sols []*Solution
+		for i := 0; i < 40; i++ {
+			sols = append(sols, sol([]float64{r.Range(0, 1), r.Range(0, 1)}, 0))
+		}
+		front := ParetoFilter(sols)
+		if len(front) == 0 {
+			t.Fatal("empty front from non-empty set")
+		}
+		// No member dominates another.
+		for i, a := range front {
+			for j, b := range front {
+				if i != j && Dominates(a, b) {
+					t.Fatal("front contains dominated member")
+				}
+			}
+		}
+		// Every excluded solution is dominated by (or duplicates) a member.
+		inFront := map[*Solution]bool{}
+		for _, s := range front {
+			inFront[s] = true
+		}
+		for _, s := range sols {
+			if inFront[s] {
+				continue
+			}
+			covered := false
+			for _, f := range front {
+				if Dominates(f, s) || EqualF(f, s) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatal("excluded solution not dominated by any front member")
+			}
+		}
+	}
+}
+
+func TestParetoFilterDeduplicates(t *testing.T) {
+	a := sol([]float64{1, 1}, 0)
+	b := sol([]float64{1, 1}, 0)
+	front := ParetoFilter([]*Solution{a, b})
+	if len(front) != 1 {
+		t.Fatalf("duplicate objective vectors kept: %d", len(front))
+	}
+}
+
+func TestFastNonDominatedSortMatchesBruteForce(t *testing.T) {
+	r := rng.New(4)
+	for trial := 0; trial < 30; trial++ {
+		var sols []*Solution
+		for i := 0; i < 30; i++ {
+			viol := 0.0
+			if r.Bool(0.2) {
+				viol = r.Range(0, 1)
+			}
+			sols = append(sols, sol([]float64{r.Range(0, 1), r.Range(0, 1)}, viol))
+		}
+		fronts := FastNonDominatedSort(sols)
+		// Every solution appears exactly once.
+		seen := make([]bool, len(sols))
+		total := 0
+		for _, f := range fronts {
+			total += len(f)
+			for _, i := range f {
+				if seen[i] {
+					t.Fatal("solution in two fronts")
+				}
+				seen[i] = true
+			}
+		}
+		if total != len(sols) {
+			t.Fatalf("fronts cover %d of %d", total, len(sols))
+		}
+		// Rank property: no member of front k is dominated by a member of
+		// front k or later; every member of front k>0 is dominated by
+		// someone in front k-1.
+		for k, f := range fronts {
+			for _, i := range f {
+				for kk := k; kk < len(fronts); kk++ {
+					for _, j := range fronts[kk] {
+						if i != j && Dominates(sols[j], sols[i]) && kk == k {
+							t.Fatal("front member dominated within its front")
+						}
+					}
+				}
+				if k > 0 {
+					dominated := false
+					for _, j := range fronts[k-1] {
+						if Dominates(sols[j], sols[i]) {
+							dominated = true
+							break
+						}
+					}
+					if !dominated {
+						t.Fatal("front-k member not dominated by front k-1")
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCrowdingDistances(t *testing.T) {
+	sols := []*Solution{
+		sol([]float64{0, 4}, 0),
+		sol([]float64{1, 2}, 0),
+		sol([]float64{2, 1}, 0),
+		sol([]float64{4, 0}, 0),
+	}
+	d := CrowdingDistances(sols)
+	if !math.IsInf(d[0], 1) || !math.IsInf(d[3], 1) {
+		t.Fatalf("boundary solutions not infinite: %v", d)
+	}
+	if math.IsInf(d[1], 1) || math.IsInf(d[2], 1) || d[1] <= 0 || d[2] <= 0 {
+		t.Fatalf("interior distances wrong: %v", d)
+	}
+	// Two or fewer solutions: all infinite.
+	d2 := CrowdingDistances(sols[:2])
+	if !math.IsInf(d2[0], 1) || !math.IsInf(d2[1], 1) {
+		t.Fatalf("small front distances: %v", d2)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	lo, hi := []float64{0, -1}, []float64{1, 1}
+	got := Clamp([]float64{2, -3}, lo, hi)
+	if got[0] != 1 || got[1] != -1 {
+		t.Fatalf("Clamp = %v", got)
+	}
+	check := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		v := Clamp([]float64{a, b}, lo, hi)
+		return v[0] >= lo[0] && v[0] <= hi[0] && v[1] >= lo[1] && v[1] <= hi[1]
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdealNadir(t *testing.T) {
+	sols := []*Solution{
+		sol([]float64{1, 5}, 0),
+		sol([]float64{3, 2}, 0),
+	}
+	ideal, nadir := Ideal(sols), Nadir(sols)
+	if ideal[0] != 1 || ideal[1] != 2 {
+		t.Fatalf("Ideal = %v", ideal)
+	}
+	if nadir[0] != 3 || nadir[1] != 5 {
+		t.Fatalf("Nadir = %v", nadir)
+	}
+	if Ideal(nil) != nil || Nadir(nil) != nil {
+		t.Fatal("empty set should give nil")
+	}
+}
+
+func TestSolutionCloneIndependent(t *testing.T) {
+	s := &Solution{X: []float64{1, 2}, F: []float64{3}, Violation: 0.5}
+	c := s.Clone()
+	c.X[0] = 99
+	c.F[0] = 99
+	if s.X[0] != 1 || s.F[0] != 3 {
+		t.Fatal("Clone shares slices with the original")
+	}
+	if c.Violation != 0.5 {
+		t.Fatal("Clone lost violation")
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	if !sol(nil, 0).Feasible() || sol(nil, 0.1).Feasible() {
+		t.Fatal("Feasible threshold wrong")
+	}
+}

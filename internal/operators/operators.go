@@ -1,0 +1,210 @@
+// Package operators implements the real-coded variation operators used by
+// the three algorithms of the paper:
+//
+//   - the BLX-α-based perturbation of AEDB-MLS (Eq. 2 of the paper);
+//   - simulated binary crossover (SBX) and polynomial mutation for
+//     NSGA-II (Deb & Agrawal);
+//   - the differential-evolution rand/1/bin operator for CellDE;
+//   - classic blend crossover BLX-α (Eshelman & Schaffer) and binary
+//     tournament selection as shared utilities.
+//
+// All operators clamp offspring into the problem bounds.
+package operators
+
+import (
+	"math"
+
+	"aedbmls/internal/moo"
+	"aedbmls/internal/rng"
+)
+
+// PerturbBLX applies the paper's local-search perturbation (Eq. 2) to the
+// parameters listed in idx:
+//
+//	x'[p] = x[p] + phi * (3*rho - 2),   phi = alpha * |x[p] - t[p]|
+//
+// where t is a reference solution from the population and rho ~ U[0,1).
+// The factor (3*rho - 2) spans [-2, 1): the move is biased towards pulling
+// x away from t's side, with magnitude proportional to their disagreement.
+// Parameters not listed in idx are copied unchanged. The result is clamped
+// into [lo, hi].
+func PerturbBLX(x, t []float64, idx []int, alpha float64, lo, hi []float64, r *rng.Rand) []float64 {
+	out := append([]float64(nil), x...)
+	for _, p := range idx {
+		phi := alpha * abs(x[p]-t[p])
+		rho := r.Float64()
+		out[p] = x[p] + phi*(3*rho-2)
+	}
+	return moo.Clamp(out, lo, hi)
+}
+
+// BlendBLX is the classic BLX-α recombination: each child coordinate is
+// uniform over the parent interval extended by alpha on both sides.
+func BlendBLX(a, b []float64, alpha float64, lo, hi []float64, r *rng.Rand) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		lo2, hi2 := a[i], b[i]
+		if lo2 > hi2 {
+			lo2, hi2 = hi2, lo2
+		}
+		ext := alpha * (hi2 - lo2)
+		out[i] = r.Range(lo2-ext, hi2+ext+1e-300)
+	}
+	return moo.Clamp(out, lo, hi)
+}
+
+// SBX performs simulated binary crossover with distribution index etaC and
+// per-variable crossover probability 0.5 (Deb's reference implementation),
+// returning two children. pc is the whole-operator application
+// probability; when skipped the parents are copied.
+func SBX(a, b []float64, pc, etaC float64, lo, hi []float64, r *rng.Rand) (c1, c2 []float64) {
+	c1 = append([]float64(nil), a...)
+	c2 = append([]float64(nil), b...)
+	if !r.Bool(pc) {
+		return c1, c2
+	}
+	for i := range a {
+		if !r.Bool(0.5) {
+			continue
+		}
+		x1, x2 := a[i], b[i]
+		if abs(x1-x2) < 1e-14 {
+			continue
+		}
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		yl, yu := lo[i], hi[i]
+		// Bounded SBX: spread factors account for the distance to bounds.
+		rand := r.Float64()
+		beta := 1.0 + 2.0*(x1-yl)/(x2-x1)
+		alpha := 2.0 - pow(beta, -(etaC+1))
+		betaq := sbxBetaq(rand, alpha, etaC)
+		child1 := 0.5 * ((x1 + x2) - betaq*(x2-x1))
+
+		beta = 1.0 + 2.0*(yu-x2)/(x2-x1)
+		alpha = 2.0 - pow(beta, -(etaC+1))
+		betaq = sbxBetaq(rand, alpha, etaC)
+		child2 := 0.5 * ((x1 + x2) + betaq*(x2-x1))
+
+		if child1 < yl {
+			child1 = yl
+		}
+		if child1 > yu {
+			child1 = yu
+		}
+		if child2 < yl {
+			child2 = yl
+		}
+		if child2 > yu {
+			child2 = yu
+		}
+		if r.Bool(0.5) {
+			c1[i], c2[i] = child2, child1
+		} else {
+			c1[i], c2[i] = child1, child2
+		}
+	}
+	return c1, c2
+}
+
+func sbxBetaq(rand, alpha, etaC float64) float64 {
+	if rand <= 1.0/alpha {
+		return pow(rand*alpha, 1.0/(etaC+1))
+	}
+	return pow(1.0/(2.0-rand*alpha), 1.0/(etaC+1))
+}
+
+// PolynomialMutation applies Deb's bounded polynomial mutation in place:
+// each variable mutates with probability pm using distribution index etaM.
+func PolynomialMutation(x []float64, pm, etaM float64, lo, hi []float64, r *rng.Rand) {
+	for i := range x {
+		if !r.Bool(pm) {
+			continue
+		}
+		yl, yu := lo[i], hi[i]
+		span := yu - yl
+		if span <= 0 {
+			continue
+		}
+		y := x[i]
+		delta1 := (y - yl) / span
+		delta2 := (yu - y) / span
+		rand := r.Float64()
+		mutPow := 1.0 / (etaM + 1.0)
+		var deltaq float64
+		if rand < 0.5 {
+			xy := 1.0 - delta1
+			val := 2.0*rand + (1.0-2.0*rand)*pow(xy, etaM+1)
+			deltaq = pow(val, mutPow) - 1.0
+		} else {
+			xy := 1.0 - delta2
+			val := 2.0*(1.0-rand) + 2.0*(rand-0.5)*pow(xy, etaM+1)
+			deltaq = 1.0 - pow(val, mutPow)
+		}
+		y += deltaq * span
+		if y < yl {
+			y = yl
+		}
+		if y > yu {
+			y = yu
+		}
+		x[i] = y
+	}
+}
+
+// DERand1Bin builds a differential-evolution trial vector from the base
+// vector and two difference vectors (rand/1/bin): for each coordinate,
+// with probability cr (and always at one random coordinate) the trial
+// takes base + f*(d1-d2); otherwise it keeps current.
+func DERand1Bin(current, base, d1, d2 []float64, cr, f float64, lo, hi []float64, r *rng.Rand) []float64 {
+	n := len(current)
+	out := append([]float64(nil), current...)
+	jrand := r.Intn(n)
+	for j := 0; j < n; j++ {
+		if j == jrand || r.Bool(cr) {
+			out[j] = base[j] + f*(d1[j]-d2[j])
+		}
+	}
+	return moo.Clamp(out, lo, hi)
+}
+
+// TournamentCD picks the better of two random population members using
+// constrained dominance, breaking non-dominated ties with the larger
+// crowding distance cd (pass nil to break ties randomly).
+func TournamentCD(pop []*moo.Solution, cd []float64, r *rng.Rand) *moo.Solution {
+	i, j := r.Intn(len(pop)), r.Intn(len(pop))
+	a, b := pop[i], pop[j]
+	switch {
+	case moo.Dominates(a, b):
+		return a
+	case moo.Dominates(b, a):
+		return b
+	case cd != nil && cd[i] > cd[j]:
+		return a
+	case cd != nil && cd[j] > cd[i]:
+		return b
+	case r.Bool(0.5):
+		return a
+	default:
+		return b
+	}
+}
+
+// RandomVector samples a uniform point in [lo, hi].
+func RandomVector(lo, hi []float64, r *rng.Rand) []float64 {
+	x := make([]float64, len(lo))
+	for i := range x {
+		x[i] = r.Range(lo[i], hi[i])
+	}
+	return x
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func pow(base, exp float64) float64 { return math.Pow(base, exp) }

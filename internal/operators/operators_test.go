@@ -1,0 +1,246 @@
+package operators
+
+import (
+	"math"
+	"testing"
+
+	"aedbmls/internal/moo"
+	"aedbmls/internal/rng"
+)
+
+var (
+	lo5 = []float64{0, 0, -95, 0, 0}
+	hi5 = []float64{1, 5, -70, 3, 50}
+)
+
+func randVec(r *rng.Rand) []float64 {
+	return RandomVector(lo5, hi5, r)
+}
+
+func inBounds(x, lo, hi []float64) bool {
+	for i := range x {
+		if x[i] < lo[i] || x[i] > hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRandomVectorInBounds(t *testing.T) {
+	r := rng.New(1)
+	for i := 0; i < 1000; i++ {
+		if !inBounds(randVec(r), lo5, hi5) {
+			t.Fatal("random vector out of bounds")
+		}
+	}
+}
+
+func TestPerturbBLXTouchesOnlySelectedParams(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 500; trial++ {
+		x, tref := randVec(r), randVec(r)
+		idx := []int{2, 4}
+		out := PerturbBLX(x, tref, idx, 0.2, lo5, hi5, r)
+		for i := range x {
+			selected := i == 2 || i == 4
+			if !selected && out[i] != x[i] {
+				t.Fatalf("unselected parameter %d changed: %v -> %v", i, x[i], out[i])
+			}
+		}
+		if !inBounds(out, lo5, hi5) {
+			t.Fatal("perturbed vector out of bounds")
+		}
+	}
+}
+
+func TestPerturbBLXDoesNotMutateInputs(t *testing.T) {
+	r := rng.New(3)
+	x, tref := randVec(r), randVec(r)
+	xc := append([]float64(nil), x...)
+	tc := append([]float64(nil), tref...)
+	PerturbBLX(x, tref, []int{0, 1, 2, 3, 4}, 0.3, lo5, hi5, r)
+	for i := range x {
+		if x[i] != xc[i] || tref[i] != tc[i] {
+			t.Fatal("PerturbBLX mutated its inputs")
+		}
+	}
+}
+
+func TestPerturbBLXMagnitudeScalesWithDisagreement(t *testing.T) {
+	// When s and t agree on a parameter, phi = 0 and the parameter is
+	// unchanged (Eq. 2).
+	r := rng.New(4)
+	x := []float64{0.5, 2, -80, 1, 25}
+	out := PerturbBLX(x, x, []int{0, 1, 2, 3, 4}, 0.2, lo5, hi5, r)
+	for i := range x {
+		if out[i] != x[i] {
+			t.Fatalf("zero-disagreement perturbation moved parameter %d", i)
+		}
+	}
+	// The move is bounded by 2*alpha*|s_p - t_p| (the factor spans [-2,1)).
+	tref := []float64{0.5, 2, -70, 1, 45}
+	for trial := 0; trial < 1000; trial++ {
+		out := PerturbBLX(x, tref, []int{2, 4}, 0.2, lo5, hi5, r)
+		if math.Abs(out[2]-x[2]) > 2*0.2*math.Abs(x[2]-tref[2])+1e-12 {
+			t.Fatalf("border move too large: %v", out[2]-x[2])
+		}
+		if math.Abs(out[4]-x[4]) > 2*0.2*math.Abs(x[4]-tref[4])+1e-12 {
+			t.Fatalf("neighbor move too large: %v", out[4]-x[4])
+		}
+	}
+}
+
+func TestBlendBLXWithinExtendedInterval(t *testing.T) {
+	r := rng.New(5)
+	lo, hi := []float64{-10}, []float64{10}
+	for trial := 0; trial < 1000; trial++ {
+		a, b := []float64{r.Range(-5, 5)}, []float64{r.Range(-5, 5)}
+		child := BlendBLX(a, b, 0.5, lo, hi, r)
+		loP, hiP := math.Min(a[0], b[0]), math.Max(a[0], b[0])
+		ext := 0.5 * (hiP - loP)
+		if child[0] < loP-ext-1e-9 || child[0] > hiP+ext+1e-9 {
+			t.Fatalf("BLX child %v outside extended interval [%v, %v]", child[0], loP-ext, hiP+ext)
+		}
+	}
+}
+
+func TestSBXInBoundsAndSkip(t *testing.T) {
+	r := rng.New(6)
+	for trial := 0; trial < 500; trial++ {
+		a, b := randVec(r), randVec(r)
+		c1, c2 := SBX(a, b, 0.9, 20, lo5, hi5, r)
+		if !inBounds(c1, lo5, hi5) || !inBounds(c2, lo5, hi5) {
+			t.Fatal("SBX children out of bounds")
+		}
+	}
+	// pc = 0: children are copies.
+	a, b := randVec(r), randVec(r)
+	c1, c2 := SBX(a, b, 0, 20, lo5, hi5, r)
+	for i := range a {
+		if c1[i] != a[i] || c2[i] != b[i] {
+			t.Fatal("SBX with pc=0 modified parents")
+		}
+	}
+}
+
+func TestSBXChildrenCenteredOnParents(t *testing.T) {
+	// SBX preserves the parent midpoint per crossed variable.
+	r := rng.New(7)
+	for trial := 0; trial < 200; trial++ {
+		a, b := randVec(r), randVec(r)
+		c1, c2 := SBX(a, b, 1.0, 20, lo5, hi5, r)
+		for i := range a {
+			mid := (a[i] + b[i]) / 2
+			cmid := (c1[i] + c2[i]) / 2
+			// Boundary clamping may shift the midpoint; allow slack.
+			if math.Abs(cmid-mid) > 0.6*math.Abs(a[i]-b[i])+1e-9 {
+				t.Fatalf("SBX midpoint drifted: parents %v/%v children %v/%v", a[i], b[i], c1[i], c2[i])
+			}
+		}
+	}
+}
+
+func TestPolynomialMutationBoundsAndRate(t *testing.T) {
+	r := rng.New(8)
+	changed := 0
+	const trials = 2000
+	for trial := 0; trial < trials; trial++ {
+		x := randVec(r)
+		orig := append([]float64(nil), x...)
+		PolynomialMutation(x, 0.2, 20, lo5, hi5, r)
+		if !inBounds(x, lo5, hi5) {
+			t.Fatal("mutated vector out of bounds")
+		}
+		for i := range x {
+			if x[i] != orig[i] {
+				changed++
+			}
+		}
+	}
+	rate := float64(changed) / float64(trials*len(lo5))
+	if rate < 0.15 || rate > 0.25 {
+		t.Fatalf("mutation rate = %.3f, want approx 0.2", rate)
+	}
+}
+
+func TestPolynomialMutationZeroRateNoop(t *testing.T) {
+	r := rng.New(9)
+	x := randVec(r)
+	orig := append([]float64(nil), x...)
+	PolynomialMutation(x, 0, 20, lo5, hi5, r)
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatal("pm=0 mutated the vector")
+		}
+	}
+}
+
+func TestDERand1Bin(t *testing.T) {
+	r := rng.New(10)
+	for trial := 0; trial < 500; trial++ {
+		cur, base, d1, d2 := randVec(r), randVec(r), randVec(r), randVec(r)
+		out := DERand1Bin(cur, base, d1, d2, 0.5, 0.5, lo5, hi5, r)
+		if !inBounds(out, lo5, hi5) {
+			t.Fatal("DE trial out of bounds")
+		}
+		// At least one coordinate must come from the mutant (jrand).
+		fromMutant := 0
+		for j := range out {
+			mutant := moo.Clamp([]float64{base[j] + 0.5*(d1[j]-d2[j])}, lo5[j:j+1], hi5[j:j+1])[0]
+			if out[j] == mutant && out[j] != cur[j] {
+				fromMutant++
+			}
+		}
+		_ = fromMutant // with clamping, exact matching is fragile; bounds + CR test below suffice
+	}
+	// CR = 0: only the forced jrand coordinate differs from current.
+	for trial := 0; trial < 200; trial++ {
+		cur, base, d1, d2 := randVec(r), randVec(r), randVec(r), randVec(r)
+		out := DERand1Bin(cur, base, d1, d2, 0, 0.5, lo5, hi5, r)
+		diffs := 0
+		for j := range out {
+			if out[j] != cur[j] {
+				diffs++
+			}
+		}
+		if diffs > 1 {
+			t.Fatalf("CR=0 changed %d coordinates, want <= 1", diffs)
+		}
+	}
+}
+
+func TestTournamentCDPrefersDominator(t *testing.T) {
+	r := rng.New(11)
+	better := &moo.Solution{F: []float64{0, 0}}
+	worse := &moo.Solution{F: []float64{1, 1}}
+	pop := []*moo.Solution{better, worse}
+	wins := 0
+	for i := 0; i < 200; i++ {
+		if TournamentCD(pop, nil, r) == better {
+			wins++
+		}
+	}
+	// The dominator must win every tournament in which it appears; it can
+	// lose only when both draws pick `worse` (probability 1/4).
+	if wins < 130 {
+		t.Fatalf("dominator won only %d of 200 tournaments", wins)
+	}
+}
+
+func TestTournamentCDUsesCrowding(t *testing.T) {
+	r := rng.New(12)
+	a := &moo.Solution{F: []float64{0, 1}}
+	b := &moo.Solution{F: []float64{1, 0}}
+	pop := []*moo.Solution{a, b}
+	cd := []float64{10, 0.1}
+	winsA := 0
+	for i := 0; i < 400; i++ {
+		if TournamentCD(pop, cd, r) == a {
+			winsA++
+		}
+	}
+	// a wins all mixed pairings (crowding) plus the (a,a) draws: 3/4.
+	if winsA < 250 {
+		t.Fatalf("high-crowding solution won only %d of 400", winsA)
+	}
+}

@@ -1,0 +1,189 @@
+// Package radio models the physical-layer quantities the AEDB protocol
+// reasons about: transmission powers in dBm, path-loss models, and link
+// budgets.
+//
+// The paper evaluates AEDB with ns-3's 802.11 stack; the relevant defaults
+// are reproduced here: a log-distance propagation-loss model with exponent
+// 3.0 and 46.6777 dB reference loss at 1 m, a default transmission power of
+// 16.02 dBm (Table II) and an energy-detection threshold (receiver
+// sensitivity) of -96 dBm, which yields a maximum radio range of roughly
+// 150 m — comfortably inside the 500 m x 500 m arena and consistent with
+// the protocol's border-threshold domain of [-95, -70] dBm.
+package radio
+
+import "math"
+
+// Physical constants and ns-3-compatible defaults.
+const (
+	// DefaultTxPowerDBm is the default transmission power (Table II).
+	DefaultTxPowerDBm = 16.02
+	// DefaultSensitivityDBm is the energy-detection threshold below which
+	// a frame cannot be received (ns-3 802.11b default is approx -96 dBm).
+	DefaultSensitivityDBm = -96.0
+	// DefaultCaptureThresholdDB: a frame survives interference only if it
+	// is at least this many dB stronger than every overlapping frame.
+	DefaultCaptureThresholdDB = 10.0
+	// MinTxPowerDBm is the lowest power a radio can be driven at when AEDB
+	// reduces the transmission power.
+	MinTxPowerDBm = -40.0
+)
+
+// DBmToMilliwatt converts a power level from dBm to milliwatts.
+func DBmToMilliwatt(dbm float64) float64 { return math.Pow(10, dbm/10) }
+
+// MilliwattToDBm converts a power level from milliwatts to dBm.
+// It returns -Inf for non-positive inputs.
+func MilliwattToDBm(mw float64) float64 {
+	if mw <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(mw)
+}
+
+// Model is a deterministic path-loss model: Loss returns the attenuation
+// in dB experienced over distance d (meters). Implementations must be
+// monotonically non-decreasing in d.
+type Model interface {
+	// Loss returns the path loss in dB at distance d >= 0.
+	Loss(d float64) float64
+	// RangeFor returns the maximum distance at which a transmission at
+	// txDBm is received at or above rxDBm.
+	RangeFor(txDBm, rxDBm float64) float64
+}
+
+// LogDistance is the log-distance path-loss model
+//
+//	PL(d) = ReferenceLoss + 10 * Exponent * log10(d / ReferenceDistance)
+//
+// with PL(d) = ReferenceLoss for d <= ReferenceDistance. ns-3's
+// LogDistancePropagationLossModel defaults (exponent 3, 46.6777 dB at 1 m)
+// are provided by NewLogDistanceDefault.
+type LogDistance struct {
+	Exponent          float64
+	ReferenceLoss     float64 // dB at ReferenceDistance
+	ReferenceDistance float64 // meters
+}
+
+// NewLogDistanceDefault returns the ns-3 default log-distance model.
+func NewLogDistanceDefault() LogDistance {
+	return LogDistance{Exponent: 3.0, ReferenceLoss: 46.6777, ReferenceDistance: 1.0}
+}
+
+// Loss implements Model.
+func (m LogDistance) Loss(d float64) float64 {
+	if d <= m.ReferenceDistance {
+		return m.ReferenceLoss
+	}
+	return m.ReferenceLoss + 10*m.Exponent*math.Log10(d/m.ReferenceDistance)
+}
+
+// RangeFor implements Model.
+func (m LogDistance) RangeFor(txDBm, rxDBm float64) float64 {
+	budget := txDBm - rxDBm // maximum tolerable loss
+	if budget < m.ReferenceLoss {
+		return 0
+	}
+	return m.ReferenceDistance * math.Pow(10, (budget-m.ReferenceLoss)/(10*m.Exponent))
+}
+
+// Friis is the free-space path-loss model PL(d) = 20 log10(4 pi d / lambda).
+type Friis struct {
+	WavelengthM float64
+}
+
+// NewFriis24GHz returns a Friis model at the 2.4 GHz WiFi wavelength.
+func NewFriis24GHz() Friis { return Friis{WavelengthM: 0.125} }
+
+// Loss implements Model.
+func (m Friis) Loss(d float64) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return 20 * math.Log10(4*math.Pi*d/m.WavelengthM)
+}
+
+// RangeFor implements Model.
+func (m Friis) RangeFor(txDBm, rxDBm float64) float64 {
+	budget := txDBm - rxDBm
+	if budget <= 0 {
+		return 0
+	}
+	return m.WavelengthM / (4 * math.Pi) * math.Pow(10, budget/20)
+}
+
+// TwoRayGround combines free-space loss below a crossover distance with a
+// fourth-power law beyond it (flat-earth two-ray approximation with equal
+// 1 m antenna heights).
+type TwoRayGround struct {
+	Friis     Friis
+	Crossover float64 // meters
+	HeightM   float64
+}
+
+// NewTwoRayGroundDefault returns a two-ray model with 1 m antennas at
+// 2.4 GHz.
+func NewTwoRayGroundDefault() TwoRayGround {
+	f := NewFriis24GHz()
+	h := 1.0
+	return TwoRayGround{Friis: f, Crossover: 4 * math.Pi * h * h / f.WavelengthM, HeightM: h}
+}
+
+// Loss implements Model.
+func (m TwoRayGround) Loss(d float64) float64 {
+	if d <= m.Crossover {
+		return m.Friis.Loss(d)
+	}
+	// PL(d) = 40 log10(d) - 20 log10(ht*hr)
+	return 40*math.Log10(d) - 20*math.Log10(m.HeightM*m.HeightM)
+}
+
+// RangeFor implements Model (numeric inversion by bisection).
+func (m TwoRayGround) RangeFor(txDBm, rxDBm float64) float64 {
+	budget := txDBm - rxDBm
+	if budget <= 0 {
+		return 0
+	}
+	lo, hi := 0.0, 1e6
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if m.Loss(mid) <= budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// RxPower returns the reception power in dBm for a transmission at txDBm
+// over distance d under model m.
+func RxPower(m Model, txDBm, d float64) float64 { return txDBm - m.Loss(d) }
+
+// TxPowerToReach returns the transmission power needed so that a receiver
+// whose beacon (sent at beaconTxDBm) was received at beaconRxDBm hears us
+// at targetRxDBm. This is AEDB's cross-layer power estimate: the channel
+// loss is inferred from the beacon budget and assumed symmetric.
+func TxPowerToReach(beaconTxDBm, beaconRxDBm, targetRxDBm float64) float64 {
+	loss := beaconTxDBm - beaconRxDBm
+	return targetRxDBm + loss
+}
+
+// ClampTxPower bounds a requested power to the radio's feasible interval
+// [MinTxPowerDBm, maxDBm].
+func ClampTxPower(p, maxDBm float64) float64 {
+	if p > maxDBm {
+		return maxDBm
+	}
+	if p < MinTxPowerDBm {
+		return MinTxPowerDBm
+	}
+	return p
+}
+
+// TxEnergyMilliJoule returns the radiated energy in millijoules of a
+// transmission at power dBm lasting duration seconds. (The paper's energy
+// *objective* instead sums dBm levels — see internal/eval — but the
+// physical account is kept for reporting.)
+func TxEnergyMilliJoule(dbm, duration float64) float64 {
+	return DBmToMilliwatt(dbm) * duration
+}

@@ -1,0 +1,183 @@
+// Package report persists experiment artifacts: Pareto fronts and
+// indicator samples as CSV for external plotting, and whole experiment
+// result sets as JSON for archival and later re-rendering. A released
+// reproduction needs machine-readable outputs next to the textual
+// figures; this package provides them on the standard library only.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"aedbmls/internal/aedb"
+	"aedbmls/internal/eval"
+	"aedbmls/internal/moo"
+)
+
+// FrontRow is one solution of a front in paper units plus its decision
+// variables.
+type FrontRow struct {
+	Energy        float64 `json:"energy_dbm_sum"`
+	Coverage      float64 `json:"coverage"`
+	Forwardings   float64 `json:"forwardings"`
+	BroadcastTime float64 `json:"broadcast_time_s"`
+	MinDelay      float64 `json:"min_delay_s"`
+	MaxDelay      float64 `json:"max_delay_s"`
+	Border        float64 `json:"border_threshold_dbm"`
+	Margin        float64 `json:"margin_threshold_dbm"`
+	Neighbors     float64 `json:"neighbors_threshold"`
+}
+
+// Rows converts solutions produced by the AEDB tuning problem into rows.
+// Solutions from other problems yield rows with only the raw objectives
+// mapped (energy, -coverage, forwardings).
+func Rows(front []*moo.Solution) []FrontRow {
+	rows := make([]FrontRow, 0, len(front))
+	for _, s := range front {
+		var row FrontRow
+		if m, ok := eval.MetricsOf(s); ok {
+			row.Energy = m.EnergyDBmSum
+			row.Coverage = m.Coverage
+			row.Forwardings = m.Forwardings
+			row.BroadcastTime = m.BroadcastTime
+		} else if len(s.F) >= 3 {
+			row.Energy = s.F[0]
+			row.Coverage = -s.F[1]
+			row.Forwardings = s.F[2]
+		}
+		if len(s.X) == aedb.NumParams {
+			p := aedb.FromVector(s.X)
+			row.MinDelay = p.MinDelay
+			row.MaxDelay = p.MaxDelay
+			row.Border = p.BorderThresholdDBm
+			row.Margin = p.MarginDBm
+			row.Neighbors = p.NeighborsThreshold
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Energy < rows[j].Energy })
+	return rows
+}
+
+// csvHeader is the column order of WriteFrontCSV.
+var csvHeader = []string{
+	"energy_dbm_sum", "coverage", "forwardings", "broadcast_time_s",
+	"min_delay_s", "max_delay_s", "border_threshold_dbm", "margin_threshold_dbm", "neighbors_threshold",
+}
+
+// WriteFrontCSV writes a front to w as CSV with a header row.
+func WriteFrontCSV(w io.Writer, front []*moo.Solution) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("report: write header: %w", err)
+	}
+	for _, row := range Rows(front) {
+		rec := []string{
+			formatF(row.Energy), formatF(row.Coverage), formatF(row.Forwardings), formatF(row.BroadcastTime),
+			formatF(row.MinDelay), formatF(row.MaxDelay), formatF(row.Border), formatF(row.Margin), formatF(row.Neighbors),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("report: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatF(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+
+// ReadFrontCSV parses a CSV written by WriteFrontCSV.
+func ReadFrontCSV(r io.Reader) ([]FrontRow, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("report: read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("report: empty csv")
+	}
+	if len(records[0]) != len(csvHeader) {
+		return nil, fmt.Errorf("report: want %d columns, got %d", len(csvHeader), len(records[0]))
+	}
+	var rows []FrontRow
+	for _, rec := range records[1:] {
+		var vals [9]float64
+		for i, cell := range rec {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("report: bad number %q: %w", cell, err)
+			}
+			vals[i] = v
+		}
+		rows = append(rows, FrontRow{
+			Energy: vals[0], Coverage: vals[1], Forwardings: vals[2], BroadcastTime: vals[3],
+			MinDelay: vals[4], MaxDelay: vals[5], Border: vals[6], Margin: vals[7], Neighbors: vals[8],
+		})
+	}
+	return rows, nil
+}
+
+// Bundle is a machine-readable experiment record.
+type Bundle struct {
+	// Experiment identifies the artifact (e.g. "figure6-100dev").
+	Experiment string `json:"experiment"`
+	// Scale is the protocol scale that produced it.
+	Scale string `json:"scale"`
+	// Seed reproduces the run.
+	Seed uint64 `json:"seed"`
+	// Fronts maps a series label to its rows.
+	Fronts map[string][]FrontRow `json:"fronts,omitempty"`
+	// Samples maps metric -> algorithm -> per-run values.
+	Samples map[string]map[string][]float64 `json:"samples,omitempty"`
+	// Notes carries free-form measurements (timings, counts).
+	Notes map[string]string `json:"notes,omitempty"`
+}
+
+// WriteJSON serialises the bundle with indentation.
+func (b *Bundle) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBundle parses a bundle written by WriteJSON.
+func ReadBundle(r io.Reader) (*Bundle, error) {
+	var b Bundle
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("report: decode bundle: %w", err)
+	}
+	return &b, nil
+}
+
+// SaveBundle writes the bundle to dir/<experiment>.json, creating dir.
+func SaveBundle(dir string, b *Bundle) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("report: mkdir: %w", err)
+	}
+	path := filepath.Join(dir, b.Experiment+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("report: create: %w", err)
+	}
+	defer f.Close()
+	if err := b.WriteJSON(f); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadBundle reads a bundle back from a path.
+func LoadBundle(path string) (*Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("report: open: %w", err)
+	}
+	defer f.Close()
+	return ReadBundle(f)
+}

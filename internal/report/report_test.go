@@ -1,0 +1,159 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aedbmls/internal/eval"
+	"aedbmls/internal/moo"
+)
+
+func aedbSolution(energy, coverage, forwards, bt float64) *moo.Solution {
+	return &moo.Solution{
+		X: []float64{0.1, 0.5, -80, 1, 10},
+		F: []float64{energy, -coverage, forwards},
+		Aux: eval.Metrics{
+			EnergyDBmSum: energy, Coverage: coverage, Forwardings: forwards, BroadcastTime: bt,
+		},
+	}
+}
+
+func TestRowsFromAEDBSolutions(t *testing.T) {
+	front := []*moo.Solution{
+		aedbSolution(50, 10, 3, 0.5),
+		aedbSolution(20, 5, 1, 0.3),
+	}
+	rows := Rows(front)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Sorted by energy.
+	if rows[0].Energy != 20 || rows[1].Energy != 50 {
+		t.Fatalf("rows unsorted: %v", rows)
+	}
+	if rows[0].Coverage != 5 || rows[0].BroadcastTime != 0.3 {
+		t.Fatalf("metrics not carried: %+v", rows[0])
+	}
+	if rows[0].Border != -80 || rows[0].Neighbors != 10 {
+		t.Fatalf("decision variables not carried: %+v", rows[0])
+	}
+}
+
+func TestRowsFromForeignSolutions(t *testing.T) {
+	front := []*moo.Solution{{X: []float64{1, 2}, F: []float64{3, -7, 2}}}
+	rows := Rows(front)
+	if rows[0].Energy != 3 || rows[0].Coverage != 7 || rows[0].Forwardings != 2 {
+		t.Fatalf("objective fallback wrong: %+v", rows[0])
+	}
+}
+
+func TestFrontCSVRoundTrip(t *testing.T) {
+	front := []*moo.Solution{
+		aedbSolution(50.25, 10, 3, 0.5),
+		aedbSolution(20.5, 5.5, 1, 0.25),
+	}
+	var buf bytes.Buffer
+	if err := WriteFrontCSV(&buf, front); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "energy_dbm_sum,coverage") {
+		t.Fatalf("header missing: %q", out[:40])
+	}
+	rows, err := ReadFrontCSV(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("round trip rows = %d", len(rows))
+	}
+	if math.Abs(rows[0].Energy-20.5) > 1e-9 || math.Abs(rows[1].Coverage-10) > 1e-9 {
+		t.Fatalf("round trip values wrong: %+v", rows)
+	}
+}
+
+func TestReadFrontCSVErrors(t *testing.T) {
+	if _, err := ReadFrontCSV(strings.NewReader("")); err == nil {
+		t.Error("empty csv accepted")
+	}
+	if _, err := ReadFrontCSV(strings.NewReader("a,b\n1,2\n")); err == nil {
+		t.Error("wrong column count accepted")
+	}
+	bad := strings.Repeat("x,", len(csvHeader)-1) + "x\nnot,a,number,0,0,0,0,0,0\n"
+	if _, err := ReadFrontCSV(strings.NewReader(bad)); err == nil {
+		t.Error("non-numeric cell accepted")
+	}
+}
+
+func TestBundleJSONRoundTrip(t *testing.T) {
+	b := &Bundle{
+		Experiment: "figure6-100dev",
+		Scale:      "tiny",
+		Seed:       42,
+		Fronts: map[string][]FrontRow{
+			"mls": {{Energy: 1, Coverage: 2}},
+		},
+		Samples: map[string]map[string][]float64{
+			"hypervolume": {"AEDB-MLS": {0.5, 0.6}},
+		},
+		Notes: map[string]string{"speedup": "1.8x"},
+	}
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Experiment != b.Experiment || got.Seed != 42 {
+		t.Fatalf("identity lost: %+v", got)
+	}
+	if got.Fronts["mls"][0].Coverage != 2 {
+		t.Fatal("front rows lost")
+	}
+	if got.Samples["hypervolume"]["AEDB-MLS"][1] != 0.6 {
+		t.Fatal("samples lost")
+	}
+	if got.Notes["speedup"] != "1.8x" {
+		t.Fatal("notes lost")
+	}
+}
+
+func TestSaveLoadBundle(t *testing.T) {
+	dir := t.TempDir()
+	b := &Bundle{Experiment: "test-exp", Scale: "tiny", Seed: 7}
+	path, err := SaveBundle(dir, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "test-exp.json" {
+		t.Fatalf("path = %q", path)
+	}
+	got, err := LoadBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Experiment != "test-exp" || got.Seed != 7 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	// Nested directory creation.
+	if _, err := SaveBundle(filepath.Join(dir, "a", "b"), b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBundle(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// Corrupt file rejected.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBundle(bad); err == nil {
+		t.Fatal("corrupt bundle accepted")
+	}
+}

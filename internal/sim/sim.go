@@ -1,0 +1,142 @@
+// Package sim implements a minimal discrete-event simulation engine: a
+// future event list ordered by time with deterministic tie-breaking, and
+// cancellable events.
+//
+// It plays the role ns-3's scheduler plays in the paper: the MANET
+// substrate (beacons, frame receptions, protocol timers, mobility waypoint
+// changes) is expressed entirely as events against this engine, so a whole
+// network simulation is a single goroutine and is bit-for-bit reproducible.
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback. Events are created by Simulator.Schedule
+// and may be cancelled before they fire.
+type Event struct {
+	time      float64
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Time returns the simulation time at which the event fires (or would have
+// fired, if cancelled).
+func (e *Event) Time() float64 { return e.time }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the simulation clock and the future event list. It is not
+// safe for concurrent use; one simulation runs on one goroutine (many
+// simulations run in parallel at a higher level).
+type Simulator struct {
+	now     float64
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// New returns an empty simulator with the clock at 0.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulation time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Fired returns the number of events executed so far (useful for
+// instrumentation and benchmarks).
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of scheduled, not-yet-fired events, including
+// cancelled events that have not been drained yet.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// Schedule runs fn after delay seconds of simulated time. A negative delay
+// is treated as zero. Events scheduled for the same instant fire in
+// scheduling order.
+func (s *Simulator) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// At runs fn at absolute simulation time t. If t is in the past, the event
+// fires at the current time (never before already-scheduled same-time
+// events).
+func (s *Simulator) At(t float64, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	e := &Event{time: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events until the event list is empty or Stop is called.
+func (s *Simulator) Run() {
+	s.RunUntil(-1)
+}
+
+// RunUntil executes events with time <= until (all events if until < 0).
+// The clock is left at the time of the last executed event, or advanced to
+// until if that is later and until >= 0.
+func (s *Simulator) RunUntil(until float64) {
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		next := s.events[0]
+		if until >= 0 && next.time > until {
+			break
+		}
+		heap.Pop(&s.events)
+		if next.cancelled {
+			continue
+		}
+		s.now = next.time
+		s.fired++
+		next.fn()
+	}
+	if until >= 0 && s.now < until {
+		s.now = until
+	}
+}

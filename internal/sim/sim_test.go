@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(3, func() { order = append(order, 3) })
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(2, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	s := New()
+	var at1, at2 float64
+	s.Schedule(1.5, func() { at1 = s.Now() })
+	s.Schedule(4.25, func() { at2 = s.Now() })
+	s.Run()
+	if at1 != 1.5 || at2 != 4.25 {
+		t.Fatalf("times = %v, %v", at1, at2)
+	}
+	if s.Now() != 4.25 {
+		t.Fatalf("final clock = %v", s.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.Schedule(1, func() { fired = true })
+	e.Cancel()
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() = false")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	s := New()
+	fired := false
+	late := s.Schedule(2, func() { fired = true })
+	s.Schedule(1, func() { late.Cancel() })
+	s.Run()
+	if fired {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var hits []float64
+	s.Schedule(1, func() {
+		hits = append(hits, s.Now())
+		s.Schedule(1, func() {
+			hits = append(hits, s.Now())
+		})
+	})
+	s.Run()
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []float64
+	for _, tt := range []float64{1, 2, 3, 4} {
+		tt := tt
+		s.At(tt, func() { fired = append(fired, tt) })
+	}
+	s.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v before t=2.5", fired)
+	}
+	if s.Now() != 2.5 {
+		t.Fatalf("clock = %v, want 2.5", s.Now())
+	}
+	s.RunUntil(10)
+	if len(fired) != 4 {
+		t.Fatalf("fired %v after resume", fired)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	s := New()
+	s.RunUntil(42)
+	if s.Now() != 42 {
+		t.Fatalf("clock = %v, want 42", s.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 0; i < 10; i++ {
+		s.Schedule(float64(i), func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("executed %d events after Stop at 3", count)
+	}
+	// Run resumes after a Stop.
+	s.Run()
+	if count != 10 {
+		t.Fatalf("executed %d events total, want 10", count)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := New()
+	s.Schedule(5, func() {})
+	s.RunUntil(5)
+	var at float64 = -1
+	s.Schedule(-3, func() { at = s.Now() })
+	s.Run()
+	if at != 5 {
+		t.Fatalf("negative-delay event fired at %v, want now (5)", at)
+	}
+}
+
+func TestAtPastClamped(t *testing.T) {
+	s := New()
+	s.Schedule(5, func() {})
+	s.RunUntil(5)
+	var at float64 = -1
+	s.At(1, func() { at = s.Now() })
+	s.Run()
+	if at != 5 {
+		t.Fatalf("past event fired at %v, want 5", at)
+	}
+}
+
+func TestFiredAndPending(t *testing.T) {
+	s := New()
+	s.Schedule(1, func() {})
+	s.Schedule(2, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+	s.Run()
+	if s.Fired() != 2 || s.Pending() != 0 {
+		t.Fatalf("Fired=%d Pending=%d", s.Fired(), s.Pending())
+	}
+}
+
+func TestManyEventsStaySorted(t *testing.T) {
+	s := New()
+	// Pseudo-random times via a small LCG; verify the engine visits them
+	// in non-decreasing order.
+	x := uint32(12345)
+	last := -1.0
+	ok := true
+	for i := 0; i < 5000; i++ {
+		x = x*1664525 + 1013904223
+		tt := float64(x%100000) / 100
+		s.At(tt, func() {
+			if s.Now() < last {
+				ok = false
+			}
+			last = s.Now()
+		})
+	}
+	s.Run()
+	if !ok {
+		t.Fatal("events fired out of time order")
+	}
+	if s.Fired() != 5000 {
+		t.Fatalf("Fired = %d", s.Fired())
+	}
+}

@@ -1,0 +1,212 @@
+// Package stats provides the statistical machinery of the paper's results
+// section: the Wilcoxon rank-sum (Mann-Whitney) test used for the pairwise
+// algorithm comparison of Table IV, and descriptive statistics / boxplot
+// summaries for the Fig. 7 distributions.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (NaN for n < 2).
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, v := range xs {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n-1))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using linear interpolation
+// between order statistics (type-7, the R default).
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[n-1]
+	}
+	h := q * float64(n-1)
+	i := int(h)
+	frac := h - float64(i)
+	if i+1 >= n {
+		return s[n-1]
+	}
+	return s[i] + frac*(s[i+1]-s[i])
+}
+
+// Median returns the 0.5 quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Boxplot is the five-number summary plus Tukey whiskers used to render
+// Fig. 7.
+type Boxplot struct {
+	Min, Q1, Median, Q3, Max float64
+	WhiskerLo, WhiskerHi     float64
+	Outliers                 []float64
+}
+
+// NewBoxplot summarises a sample (whiskers at 1.5 IQR).
+func NewBoxplot(xs []float64) Boxplot {
+	b := Boxplot{
+		Min: Quantile(xs, 0), Q1: Quantile(xs, 0.25), Median: Median(xs),
+		Q3: Quantile(xs, 0.75), Max: Quantile(xs, 1),
+	}
+	iqr := b.Q3 - b.Q1
+	loFence, hiFence := b.Q1-1.5*iqr, b.Q3+1.5*iqr
+	b.WhiskerLo, b.WhiskerHi = math.Inf(1), math.Inf(-1)
+	for _, v := range xs {
+		if v < loFence || v > hiFence {
+			b.Outliers = append(b.Outliers, v)
+			continue
+		}
+		if v < b.WhiskerLo {
+			b.WhiskerLo = v
+		}
+		if v > b.WhiskerHi {
+			b.WhiskerHi = v
+		}
+	}
+	if math.IsInf(b.WhiskerLo, 1) {
+		b.WhiskerLo, b.WhiskerHi = b.Min, b.Max
+	}
+	return b
+}
+
+// WilcoxonResult is the outcome of a two-sided rank-sum test.
+type WilcoxonResult struct {
+	U         float64 // Mann-Whitney U of the first sample
+	Z         float64 // normal approximation score
+	P         float64 // two-sided p-value
+	NA, NB    int
+	MedianA   float64
+	MedianB   float64
+	Direction int // -1: A tends smaller, +1: A tends larger, 0: no evidence
+}
+
+// Significant reports whether the test rejects equality at level alpha
+// (the paper uses alpha = 0.05).
+func (w WilcoxonResult) Significant(alpha float64) bool { return w.P < alpha }
+
+// Wilcoxon performs the two-sided Wilcoxon rank-sum (Mann-Whitney U) test
+// with mid-ranks for ties and a tie-corrected normal approximation with
+// continuity correction — the unpaired test the paper applies to the
+// 30-run indicator samples.
+//
+// Samples containing NaN observations (e.g. indicators of degenerate
+// fronts) yield P = NaN: the comparison is undefined, never significant.
+func Wilcoxon(a, b []float64) WilcoxonResult {
+	na, nb := len(a), len(b)
+	res := WilcoxonResult{NA: na, NB: nb, MedianA: Median(a), MedianB: Median(b)}
+	if na == 0 || nb == 0 || hasNaN(a) || hasNaN(b) {
+		res.P = math.NaN()
+		return res
+	}
+	type obs struct {
+		v     float64
+		fromA bool
+	}
+	all := make([]obs, 0, na+nb)
+	for _, v := range a {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	n := na + nb
+	ranks := make([]float64, n)
+	var tieCorrection float64
+	for i := 0; i < n; {
+		j := i
+		for j < n && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		tieCorrection += t*t*t - t
+		i = j
+	}
+	var rankSumA float64
+	for i, o := range all {
+		if o.fromA {
+			rankSumA += ranks[i]
+		}
+	}
+	u := rankSumA - float64(na*(na+1))/2
+	res.U = u
+
+	mu := float64(na) * float64(nb) / 2
+	nf := float64(n)
+	sigma2 := float64(na) * float64(nb) / 12 * ((nf + 1) - tieCorrection/(nf*(nf-1)))
+	if sigma2 <= 0 {
+		// All observations identical: no evidence of difference.
+		res.P = 1
+		return res
+	}
+	sigma := math.Sqrt(sigma2)
+	diff := u - mu
+	// Continuity correction towards the null.
+	var cc float64
+	switch {
+	case diff > 0.5:
+		cc = -0.5
+	case diff < -0.5:
+		cc = 0.5
+	}
+	z := (diff + cc) / sigma
+	res.Z = z
+	res.P = 2 * normalSF(math.Abs(z))
+	if res.P > 1 {
+		res.P = 1
+	}
+	if diff > 0 {
+		res.Direction = 1
+	} else if diff < 0 {
+		res.Direction = -1
+	}
+	return res
+}
+
+// normalSF is the standard normal survival function P(Z > z).
+func normalSF(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+func hasNaN(xs []float64) bool {
+	for _, v := range xs {
+		if math.IsNaN(v) {
+			return true
+		}
+	}
+	return false
+}

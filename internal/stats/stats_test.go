@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"aedbmls/internal/rng"
+)
+
+func timeAfter() <-chan time.Time { return time.After(5 * time.Second) }
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("mean = %v", got)
+	}
+	// Sample std of this classic set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if got := StdDev(xs); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("std = %v, want %v", got, want)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(StdDev([]float64{1})) {
+		t.Fatal("degenerate inputs should give NaN")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 0.25: 2, 0.5: 3, 0.75: 4, 1: 5}
+	for q, want := range cases {
+		if got := Quantile(xs, q); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	// Interpolation between order statistics (type 7).
+	if got := Quantile([]float64{1, 2, 3, 4}, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("median of 4 = %v, want 2.5", got)
+	}
+	// Input must not be reordered.
+	unsorted := []float64{3, 1, 2}
+	Quantile(unsorted, 0.5)
+	if unsorted[0] != 3 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestBoxplot(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 100}
+	b := NewBoxplot(xs)
+	if b.Median != 5 {
+		t.Fatalf("median = %v", b.Median)
+	}
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Fatalf("outliers = %v, want [100]", b.Outliers)
+	}
+	if b.WhiskerHi != 8 || b.WhiskerLo != 1 {
+		t.Fatalf("whiskers = [%v, %v], want [1, 8]", b.WhiskerLo, b.WhiskerHi)
+	}
+	if b.Max != 100 || b.Min != 1 {
+		t.Fatalf("min/max = %v/%v", b.Min, b.Max)
+	}
+}
+
+func TestWilcoxonIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	w := Wilcoxon(a, a)
+	if w.Significant(0.05) {
+		t.Fatalf("identical samples significant: p=%v", w.P)
+	}
+	if w.P < 0.9 {
+		t.Fatalf("identical samples p = %v, want near 1", w.P)
+	}
+}
+
+func TestWilcoxonConstantSamples(t *testing.T) {
+	a := []float64{3, 3, 3}
+	b := []float64{3, 3, 3, 3}
+	w := Wilcoxon(a, b)
+	if w.P != 1 || w.Significant(0.05) {
+		t.Fatalf("all-ties p = %v", w.P)
+	}
+}
+
+func TestWilcoxonClearSeparation(t *testing.T) {
+	r := rng.New(1)
+	var a, b []float64
+	for i := 0; i < 30; i++ {
+		a = append(a, r.Range(0, 1))
+		b = append(b, r.Range(10, 11))
+	}
+	w := Wilcoxon(a, b)
+	if !w.Significant(0.01) {
+		t.Fatalf("separated samples not significant: p=%v", w.P)
+	}
+	if w.Direction != -1 {
+		t.Fatalf("direction = %d, want -1 (a smaller)", w.Direction)
+	}
+	// And the mirrored comparison flips.
+	w2 := Wilcoxon(b, a)
+	if w2.Direction != 1 {
+		t.Fatalf("mirrored direction = %d, want 1", w2.Direction)
+	}
+	if math.Abs(w.P-w2.P) > 1e-9 {
+		t.Fatalf("p not symmetric: %v vs %v", w.P, w2.P)
+	}
+}
+
+func TestWilcoxonKnownValue(t *testing.T) {
+	// Classic small example: A = {1,2,3}, B = {4,5,6}: U_A = 0,
+	// two-sided exact p = 0.1; the normal approximation with continuity
+	// correction gives approximately 0.0809.
+	w := Wilcoxon([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if w.U != 0 {
+		t.Fatalf("U = %v, want 0", w.U)
+	}
+	if w.P < 0.05 || w.P > 0.15 {
+		t.Fatalf("p = %v, want near 0.08-0.10", w.P)
+	}
+}
+
+func TestWilcoxonTiesHandled(t *testing.T) {
+	a := []float64{1, 2, 2, 3}
+	b := []float64{2, 3, 3, 4}
+	w := Wilcoxon(a, b)
+	if math.IsNaN(w.P) || w.P <= 0 || w.P > 1 {
+		t.Fatalf("tied-sample p = %v", w.P)
+	}
+}
+
+func TestWilcoxonOverlappingNotSignificant(t *testing.T) {
+	r := rng.New(2)
+	var a, b []float64
+	for i := 0; i < 30; i++ {
+		a = append(a, r.NormFloat64())
+		b = append(b, r.NormFloat64())
+	}
+	w := Wilcoxon(a, b)
+	if w.Significant(0.001) {
+		t.Fatalf("same-distribution samples highly significant: p=%v", w.P)
+	}
+}
+
+func TestWilcoxonPower(t *testing.T) {
+	// With 30-vs-30 samples shifted by one standard deviation the test
+	// should detect the difference nearly always (this mirrors the
+	// paper's 30-run comparisons).
+	r := rng.New(3)
+	detected := 0
+	for trial := 0; trial < 50; trial++ {
+		var a, b []float64
+		for i := 0; i < 30; i++ {
+			a = append(a, r.NormFloat64())
+			b = append(b, r.NormFloat64()+1)
+		}
+		if w := Wilcoxon(a, b); w.Significant(0.05) && w.Direction == -1 {
+			detected++
+		}
+	}
+	if detected < 45 {
+		t.Fatalf("power too low: %d/50 detections", detected)
+	}
+}
+
+func TestWilcoxonEmpty(t *testing.T) {
+	if w := Wilcoxon(nil, []float64{1}); !math.IsNaN(w.P) {
+		t.Fatalf("empty sample p = %v, want NaN", w.P)
+	}
+}
+
+func TestWilcoxonNaNObservations(t *testing.T) {
+	// NaN observations (indicators of degenerate fronts) must terminate
+	// with an undefined, non-significant result — this regression
+	// previously hung the tie-ranking loop.
+	done := make(chan WilcoxonResult, 1)
+	go func() {
+		done <- Wilcoxon([]float64{1, math.NaN(), 3}, []float64{2, 4})
+	}()
+	select {
+	case w := <-done:
+		if !math.IsNaN(w.P) {
+			t.Fatalf("NaN-sample p = %v, want NaN", w.P)
+		}
+		if w.Significant(0.05) {
+			t.Fatal("NaN-sample comparison reported significant")
+		}
+	case <-timeAfter():
+		t.Fatal("Wilcoxon hung on NaN input")
+	}
+}

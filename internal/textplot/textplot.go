@@ -1,0 +1,194 @@
+// Package textplot renders the paper's figures as plain-text graphics:
+// grouped bar charts for the sensitivity analysis (Fig. 2), boxplot rows
+// for the indicator distributions (Fig. 7) and scatter panels for the
+// Pareto-front projections (Fig. 6).
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar renders a horizontal bar chart: one row per label, bars scaled to
+// width characters at the maximum value.
+func Bar(labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxV := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(math.Round(v / maxV * float64(width)))
+		}
+		fmt.Fprintf(&b, "%-*s | %-*s %7.4f\n", maxLabel, labels[i], width, strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// StackedBar renders one row per label with two stacked segments (used
+// for Fig. 2: main effect '#' plus interactions '+'), scaled so the total
+// of 1.0 spans width characters.
+func StackedBar(labels []string, main, extra []float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxLabel := 0
+	for _, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+	}
+	var b strings.Builder
+	for i := range labels {
+		m := int(math.Round(main[i] * float64(width)))
+		e := int(math.Round(extra[i] * float64(width)))
+		if m+e > width {
+			e = width - m
+		}
+		if e < 0 {
+			e = 0
+		}
+		bar := strings.Repeat("#", m) + strings.Repeat("+", e)
+		fmt.Fprintf(&b, "%-*s | %-*s main=%.3f inter=%.3f\n", maxLabel, labels[i], width, bar, main[i], extra[i])
+	}
+	return b.String()
+}
+
+// BoxRow renders one boxplot on a horizontal axis spanning [lo, hi]:
+//
+//	|----[==M==]------|
+//
+// with whiskers '-', box '=', median 'M'.
+func BoxRow(label string, min5 [5]float64, lo, hi float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	span := hi - lo
+	col := func(v float64) int {
+		if span <= 0 {
+			return 0
+		}
+		c := int(math.Round((v - lo) / span * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := []byte(strings.Repeat(" ", width))
+	wl, q1, med, q3, wh := col(min5[0]), col(min5[1]), col(min5[2]), col(min5[3]), col(min5[4])
+	for c := wl; c <= wh; c++ {
+		row[c] = '-'
+	}
+	for c := q1; c <= q3; c++ {
+		row[c] = '='
+	}
+	row[wl] = '|'
+	row[wh] = '|'
+	row[med] = 'M'
+	return fmt.Sprintf("%-14s %s  med=%.4g", label, string(row), min5[2])
+}
+
+// Scatter renders points as a w x h character raster. Each point is a
+// (x, y) pair; series are drawn with their rune, later series overwrite
+// earlier ones. Axis ranges come from the data.
+func Scatter(series [][][2]float64, marks []rune, w, h int, xlabel, ylabel string) string {
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s {
+			minX = math.Min(minX, p[0])
+			maxX = math.Max(maxX, p[0])
+			minY = math.Min(minY, p[1])
+			maxY = math.Max(maxY, p[1])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return "(no points)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	rows := make([][]byte, h)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range series {
+		mark := byte('*')
+		if si < len(marks) {
+			mark = byte(marks[si])
+		}
+		for _, p := range s {
+			cx := int((p[0] - minX) / (maxX - minX) * float64(w-1))
+			cy := int((p[1] - minY) / (maxY - minY) * float64(h-1))
+			rows[h-1-cy][cx] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s vs %s  [x: %.4g..%.4g, y: %.4g..%.4g]\n", ylabel, xlabel, minX, maxX, minY, maxY)
+	for _, r := range rows {
+		b.WriteString("  |")
+		b.Write(r)
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +" + strings.Repeat("-", w) + "\n")
+	return b.String()
+}
+
+// Table renders rows with aligned columns separated by two spaces.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

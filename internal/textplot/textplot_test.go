@@ -1,0 +1,117 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBar(t *testing.T) {
+	out := Bar([]string{"alpha", "beta"}, []float64{1, 0.5}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "alpha") || !strings.Contains(lines[1], "beta") {
+		t.Fatal("labels missing")
+	}
+	// The max bar is full width, the half bar roughly half.
+	full := strings.Count(lines[0], "#")
+	half := strings.Count(lines[1], "#")
+	if full != 20 || half != 10 {
+		t.Fatalf("bar widths %d/%d, want 20/10", full, half)
+	}
+}
+
+func TestBarZeroValues(t *testing.T) {
+	out := Bar([]string{"x"}, []float64{0}, 10)
+	if strings.Contains(out, "#") {
+		t.Fatal("zero value drew a bar")
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	out := StackedBar([]string{"f1", "f2"}, []float64{0.5, 0.1}, []float64{0.2, 0.0}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if strings.Count(lines[0], "#") != 10 || strings.Count(lines[0], "+") != 4 {
+		t.Fatalf("stacked segments wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "main=0.500") {
+		t.Fatalf("values missing: %q", lines[0])
+	}
+}
+
+func TestStackedBarOverflowClipped(t *testing.T) {
+	out := StackedBar([]string{"x"}, []float64{0.9}, []float64{0.9}, 20)
+	line := strings.Split(out, "\n")[0]
+	if strings.Count(line, "#")+strings.Count(line, "+") > 20 {
+		t.Fatalf("stacked bar overflowed: %q", line)
+	}
+}
+
+func TestBoxRow(t *testing.T) {
+	row := BoxRow("alg", [5]float64{0, 0.25, 0.5, 0.75, 1}, 0, 1, 41)
+	if !strings.Contains(row, "alg") || !strings.Contains(row, "M") {
+		t.Fatalf("box row malformed: %q", row)
+	}
+	mIdx := strings.Index(row, "M")
+	if mIdx < 30 || mIdx > 42 {
+		t.Fatalf("median marker misplaced at %d: %q", mIdx, row)
+	}
+	if !strings.Contains(row, "=") || !strings.Contains(row, "|") {
+		t.Fatalf("box/whisker glyphs missing: %q", row)
+	}
+}
+
+func TestBoxRowDegenerateRange(t *testing.T) {
+	row := BoxRow("x", [5]float64{1, 1, 1, 1, 1}, 1, 1, 20)
+	if row == "" {
+		t.Fatal("empty row")
+	}
+}
+
+func TestScatter(t *testing.T) {
+	series := [][][2]float64{
+		{{0, 0}, {1, 1}},
+		{{0.5, 0.5}},
+	}
+	out := Scatter(series, []rune{'o', '*'}, 21, 11, "x", "y")
+	if !strings.Contains(out, "o") || !strings.Contains(out, "*") {
+		t.Fatalf("marks missing:\n%s", out)
+	}
+	if !strings.Contains(out, "y vs x") {
+		t.Fatal("axis header missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 13 { // header + 11 rows + axis
+		t.Fatalf("line count = %d", len(lines))
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	out := Scatter(nil, nil, 10, 5, "x", "y")
+	if !strings.Contains(out, "no points") {
+		t.Fatalf("empty scatter output: %q", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"name", "v"}, [][]string{{"alpha", "1"}, {"b", "22"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("line count = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("separator: %q", lines[1])
+	}
+	// Columns aligned: "v" column starts at the same offset everywhere.
+	vCol := strings.Index(lines[0], "v")
+	if lines[2][vCol:vCol+1] != "1" && lines[3][vCol:vCol+1] == "" {
+		t.Fatalf("column misaligned:\n%s", out)
+	}
+}
