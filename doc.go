@@ -21,6 +21,33 @@
 //   - experiment drivers regenerating every table and figure of the paper
 //     (internal/experiments, cmd/aedb-experiments, bench_test.go).
 //
+// # Warm-start evaluation architecture
+//
+// The binding cost of every optimiser in this repository is the fitness
+// function: one evaluation simulates ten committee networks from t=0 to
+// t=40 s, and an AEDB-MLS run spends 24,000 evaluations. The first 30
+// simulated seconds of each network (warm-up: mobility walks plus hello
+// beaconing that fills neighbor tables) depend only on the frozen scenario
+// seed — never on the AEDB parameter vector under evaluation — so the
+// evaluation engine simulates each scenario's warm-up once, captures a
+// manet.Snapshot (mobility-model state, RNG streams, neighbor tables, the
+// pending beacon/mobility event schedule, in-flight beacon frames), and
+// every subsequent evaluation clones the snapshot and simulates only the
+// 10-second broadcast phase.
+//
+// Determinism contract: the snapshot path is bit-for-bit identical to a
+// from-scratch simulation — the same metrics, the same event order, the
+// same RNG draws. This is load-bearing (the paper's committee design
+// requires every candidate to be judged on exactly the same scenarios) and
+// is enforced by equivalence tests across densities and seeds; see
+// internal/manet/snapshot.go for the mechanism and PERF.md for the
+// numbers. The event engine backing it schedules the simulation hot path
+// (beacons, mobility changes, frame boundaries) as allocation-free tagged
+// events against a value-indexed heap, and the broadcast medium resolves
+// "who hears this transmission" through a uniform-grid spatial index
+// rather than an O(N) node scan, which is what lets scenarios scale past
+// 1,000 nodes.
+//
 // See README.md for a quickstart and DESIGN.md for the full system
 // inventory and per-experiment index.
 package aedbmls

@@ -1,0 +1,3 @@
+module aedbmls
+
+go 1.24

@@ -154,13 +154,32 @@ func (p Params) Validate() error {
 // msgState is the per-message state of the Fig. 1 pseudocode. pbest is the
 // strongest received power observed for the message (the pseudocode's
 // "pmin" variable: it is initialised at the first copy and raised whenever
-// a stronger copy arrives, lines 2-3 and 11-14).
+// a stronger copy arrives, lines 2-3 and 11-14). heardFrom is the small
+// set of senders the message arrived from, kept as a slice: a node hears
+// a given broadcast from a handful of neighbors at most, and the
+// evaluation loop creates one msgState per node per broadcast, so map
+// allocation churn would dominate.
 type msgState struct {
 	pbest     float64
 	waiting   bool
 	done      bool
 	timer     *sim.Event
-	heardFrom map[int]bool
+	heardFrom []int32
+}
+
+func (st *msgState) heard(id int) bool {
+	for _, v := range st.heardFrom {
+		if v == int32(id) {
+			return true
+		}
+	}
+	return false
+}
+
+func (st *msgState) addHeard(id int) {
+	if !st.heard(id) {
+		st.heardFrom = append(st.heardFrom, int32(id))
+	}
 }
 
 // Protocol is one node's AEDB instance.
@@ -201,7 +220,7 @@ func (a *Protocol) OnData(msg *manet.Message, from int, rxPowerDBm float64) {
 	st := a.states[msg.ID]
 	if st == nil {
 		// First reception (lines 1-9).
-		st = &msgState{pbest: rxPowerDBm, heardFrom: map[int]bool{from: true}}
+		st = &msgState{pbest: rxPowerDBm, heardFrom: []int32{int32(from)}}
 		a.states[msg.ID] = st
 		if rxPowerDBm > a.P.BorderThresholdDBm {
 			// Too close to the sender: drop (lines 4-5).
@@ -218,7 +237,7 @@ func (a *Protocol) OnData(msg *manet.Message, from int, rxPowerDBm float64) {
 	if st.waiting {
 		// Duplicate while waiting (lines 10-15): track the strongest copy
 		// and remember the sender for the sparse-regime neighbor discard.
-		st.heardFrom[from] = true
+		st.addHeard(from)
 		if rxPowerDBm > st.pbest {
 			st.pbest = rxPowerDBm
 		}
@@ -260,7 +279,7 @@ func (a *Protocol) txPower(st *msgState) float64 {
 				bestDense, haveDense = e.RxPowerDBm, true
 			}
 		}
-		if !st.heardFrom[e.ID] {
+		if !st.heard(e.ID) {
 			if !haveSparse || e.RxPowerDBm < weakest {
 				weakest, haveSparse = e.RxPowerDBm, true
 			}
@@ -362,7 +381,7 @@ func (d *DistanceBroadcast) Originate(msg *manet.Message) {
 func (d *DistanceBroadcast) OnData(msg *manet.Message, from int, rxPowerDBm float64) {
 	st := d.states[msg.ID]
 	if st == nil {
-		st = &msgState{pbest: rxPowerDBm, heardFrom: map[int]bool{from: true}}
+		st = &msgState{pbest: rxPowerDBm, heardFrom: []int32{int32(from)}}
 		d.states[msg.ID] = st
 		if rxPowerDBm > d.BorderThresholdDBm {
 			st.done = true

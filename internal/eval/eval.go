@@ -12,10 +12,22 @@
 // frozen per density (derived deterministically from the problem seed), so
 // every candidate configuration is judged on exactly the same scenarios,
 // as in the paper.
+//
+// # Warm-start evaluation
+//
+// The warm-up phase of each committee scenario (mobility + beaconing from
+// t=0 to WarmupTime) depends only on the frozen scenario seed, never on
+// the parameter vector under evaluation. The problem therefore builds one
+// manet.Snapshot per scenario on first use and every Evaluate clones from
+// it, simulating only the broadcast phase. The snapshot path is
+// bit-identical to a from-scratch simulation (see manet/snapshot.go for
+// the determinism contract); WithWarmStart(false) forces the from-scratch
+// path, which the equivalence tests compare against.
 package eval
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"aedbmls/internal/aedb"
@@ -56,14 +68,28 @@ type scenario struct {
 	source int
 }
 
+// warmSlot lazily holds one scenario's warm-start snapshot, or the error
+// that prevented building it. done flips (atomically, after snap/err are
+// written) when the build has completed, so readers outside the once can
+// inspect err without racing an in-flight build.
+type warmSlot struct {
+	once sync.Once
+	snap *manet.Snapshot
+	err  error
+	done atomic.Bool
+}
+
 // Problem is the AEDB tuning problem for one network density. It is safe
 // for concurrent Evaluate calls; each call builds its simulations from the
-// frozen seeds.
+// frozen seeds (via the shared warm-start snapshots, or from scratch).
 type Problem struct {
 	cfg       manet.Config
 	domain    aedb.Domain
+	committee int
 	scenarios []scenario
 	density   int
+	warmStart bool
+	snaps     []warmSlot
 	evals     atomic.Int64
 }
 
@@ -75,13 +101,26 @@ type Option func(*Problem)
 func WithDomain(d aedb.Domain) Option { return func(p *Problem) { p.domain = d } }
 
 // WithCommittee overrides the number of frozen networks (default 10).
+// Committees larger than the default draw additional frozen scenarios
+// from the same master stream, so a larger committee extends — rather
+// than reshuffles — a smaller one with the same problem seed.
 func WithCommittee(n int) Option {
-	return func(p *Problem) { p.scenarios = p.scenarios[:min(n, len(p.scenarios))] }
+	return func(p *Problem) {
+		if n < 1 {
+			n = 1
+		}
+		p.committee = n
+	}
 }
 
 // WithConfig overrides the manet scenario (node count is preserved from
 // the density unless the config sets it).
 func WithConfig(cfg manet.Config) Option { return func(p *Problem) { p.cfg = cfg } }
+
+// WithWarmStart toggles the warm-start snapshot path (default on). With
+// it off, every evaluation re-simulates each scenario's warm-up phase
+// from t=0; the two paths produce bit-identical metrics.
+func WithWarmStart(enabled bool) Option { return func(p *Problem) { p.warmStart = enabled } }
 
 // NewProblem builds the tuning problem for a density in devices/km^2
 // (100, 200 or 300 in the paper; other values scale by area). The seed
@@ -95,18 +134,11 @@ func NewProblem(density int, seed uint64, opts ...Option) *Problem {
 		}
 	}
 	p := &Problem{
-		cfg:     manet.DefaultScenario(nodes),
-		domain:  aedb.DefaultDomain(),
-		density: density,
-	}
-	// Freeze the committee: DefaultCommittee seeds and source nodes drawn
-	// from a master stream that depends only on (seed, density).
-	master := rng.New(seed ^ (uint64(density) * 0x9e3779b97f4a7c15))
-	for i := 0; i < DefaultCommittee; i++ {
-		p.scenarios = append(p.scenarios, scenario{
-			seed:   master.Uint64(),
-			source: master.Intn(nodes),
-		})
+		cfg:       manet.DefaultScenario(nodes),
+		domain:    aedb.DefaultDomain(),
+		committee: DefaultCommittee,
+		density:   density,
+		warmStart: true,
 	}
 	for _, o := range opts {
 		o(p)
@@ -114,10 +146,17 @@ func NewProblem(density int, seed uint64, opts ...Option) *Problem {
 	if p.cfg.NumNodes <= 0 {
 		p.cfg.NumNodes = nodes
 	}
-	// Re-bound sources in case an option changed the node count.
-	for i := range p.scenarios {
-		p.scenarios[i].source %= p.cfg.NumNodes
+	// Freeze the committee: seeds and source nodes drawn from a master
+	// stream that depends only on (seed, density). Scenario i is the same
+	// for every committee size >= i+1.
+	master := rng.New(seed ^ (uint64(density) * 0x9e3779b97f4a7c15))
+	for i := 0; i < p.committee; i++ {
+		p.scenarios = append(p.scenarios, scenario{
+			seed:   master.Uint64(),
+			source: master.Intn(nodes) % p.cfg.NumNodes,
+		})
 	}
+	p.snaps = make([]warmSlot, len(p.scenarios))
 	return p
 }
 
@@ -163,9 +202,10 @@ func (p *Problem) Evaluate(x []float64) (f []float64, violation float64, aux any
 // raw metrics. It is the fitness function of Eq. 1 before negation.
 func (p *Problem) Simulate(params aedb.Params) Metrics {
 	p.evals.Add(1)
+	factory := aedb.New(params)
 	var sum Metrics
-	for _, sc := range p.scenarios {
-		st := p.runOne(params, sc)
+	for i := range p.scenarios {
+		st, _ := p.runScenario(factory, i)
 		sum.EnergyDBmSum += st.TxPowerSumDBm
 		sum.Coverage += float64(st.Coverage())
 		sum.Forwardings += float64(st.Forwards)
@@ -181,15 +221,54 @@ func (p *Problem) Simulate(params aedb.Params) Metrics {
 	return sum
 }
 
-// runOne simulates a single committee network.
-func (p *Problem) runOne(params aedb.Params, sc scenario) *manet.BroadcastStats {
-	net, err := manet.New(p.cfg, sc.seed, aedb.New(params))
+// snapshot lazily builds (once, thread-safely) the warm-start snapshot of
+// committee scenario i. It returns nil when snapshotting is unavailable
+// for the configuration, in which case callers fall back to from-scratch
+// simulation; the cause is retained and reported by WarmStartError.
+func (p *Problem) snapshot(i int) *manet.Snapshot {
+	slot := &p.snaps[i]
+	slot.once.Do(func() {
+		slot.snap, slot.err = manet.BuildSnapshot(p.cfg, p.scenarios[i].seed, p.cfg.WarmupTime)
+		slot.done.Store(true)
+	})
+	return slot.snap
+}
+
+// WarmStartError reports why warm-start evaluation is degraded, if it is:
+// non-nil means at least one scenario snapshot failed to build and every
+// evaluation of that scenario silently re-simulates its warm-up from
+// scratch (correct, but ~4x slower). Nil if warm start is disabled, no
+// snapshot has been attempted yet, or all attempted builds succeeded.
+func (p *Problem) WarmStartError() error {
+	for i := range p.snaps {
+		if !p.snaps[i].done.Load() {
+			continue
+		}
+		if err := p.snaps[i].err; err != nil {
+			return fmt.Errorf("eval: scenario %d warm-start disabled: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// runScenario simulates a single committee network under the given
+// protocol factory, via the warm-start snapshot when available.
+func (p *Problem) runScenario(factory func(*manet.Node) manet.Protocol, i int) (*manet.BroadcastStats, *manet.Network) {
+	sc := p.scenarios[i]
+	if p.warmStart {
+		if snap := p.snapshot(i); snap != nil {
+			net, st := snap.Instantiate(factory, sc.source, p.cfg.WarmupTime)
+			net.Run()
+			return st, net
+		}
+	}
+	net, err := manet.New(p.cfg, sc.seed, factory)
 	if err != nil {
 		panic(fmt.Sprintf("eval: scenario construction failed: %v", err))
 	}
 	st := net.StartBroadcast(sc.source, p.cfg.WarmupTime)
 	net.Run()
-	return st
+	return st, net
 }
 
 // SimulateProtocol runs the committee with an arbitrary protocol factory
@@ -197,13 +276,8 @@ func (p *Problem) runOne(params aedb.Params, sc scenario) *manet.BroadcastStats 
 // baselines) and returns the averaged metrics.
 func (p *Problem) SimulateProtocol(factory func(*manet.Node) manet.Protocol) Metrics {
 	var sum Metrics
-	for _, sc := range p.scenarios {
-		net, err := manet.New(p.cfg, sc.seed, factory)
-		if err != nil {
-			panic(fmt.Sprintf("eval: scenario construction failed: %v", err))
-		}
-		st := net.StartBroadcast(sc.source, p.cfg.WarmupTime)
-		net.Run()
+	for i := range p.scenarios {
+		st, net := p.runScenario(factory, i)
 		sum.EnergyDBmSum += st.TxPowerSumDBm
 		sum.Coverage += float64(st.Coverage())
 		sum.Forwardings += float64(st.Forwards)

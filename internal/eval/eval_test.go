@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"testing"
@@ -199,5 +200,120 @@ func TestCustomDensityFallback(t *testing.T) {
 	p := NewProblem(40, 10, WithCommittee(2)) // 40 dev/km^2 -> 10 nodes
 	if p.Nodes() != 10 {
 		t.Fatalf("nodes = %d, want 10", p.Nodes())
+	}
+}
+
+// TestWarmStartBitIdentical is the central equivalence table test: across
+// densities and committee seeds, the warm-start snapshot path must return
+// bit-identical metrics (all six fields) to the from-scratch path.
+func TestWarmStartBitIdentical(t *testing.T) {
+	params := aedb.Params{MinDelay: 0.05, MaxDelay: 0.4, BorderThresholdDBm: -83, MarginDBm: 1.2, NeighborsThreshold: 12}
+	for _, density := range []int{100, 200, 300} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			warm := NewProblem(density, seed, WithCommittee(3))
+			cold := NewProblem(density, seed, WithCommittee(3), WithWarmStart(false))
+			mw := warm.Simulate(params)
+			mc := cold.Simulate(params)
+			if mw != mc {
+				t.Errorf("density %d seed %d: warm %+v != cold %+v", density, seed, mw, mc)
+			}
+			// SimulateProtocol covers the sixth field (Collisions) too.
+			pw := warm.SimulateProtocol(aedb.New(params))
+			pc := cold.SimulateProtocol(aedb.New(params))
+			if pw != pc {
+				t.Errorf("density %d seed %d: protocol warm %+v != cold %+v", density, seed, pw, pc)
+			}
+		}
+	}
+}
+
+// TestWarmStartDeterministic: two same-seed problems evaluating through
+// snapshots agree exactly, and repeated evaluations on one problem agree
+// with the first.
+func TestWarmStartDeterministic(t *testing.T) {
+	params := aedb.Params{MinDelay: 0.1, MaxDelay: 0.6, BorderThresholdDBm: -87, MarginDBm: 0.8, NeighborsThreshold: 25}
+	p1 := NewProblem(200, 99, WithCommittee(3))
+	p2 := NewProblem(200, 99, WithCommittee(3))
+	a1 := p1.Simulate(params)
+	a2 := p1.Simulate(params)
+	b1 := p2.Simulate(params)
+	if a1 != a2 {
+		t.Fatalf("repeated warm evaluations diverged: %+v vs %+v", a1, a2)
+	}
+	if a1 != b1 {
+		t.Fatalf("same-seed problems diverged: %+v vs %+v", a1, b1)
+	}
+}
+
+// TestLargeCommittee: committees beyond DefaultCommittee draw additional
+// frozen scenarios instead of silently truncating, and extend (not
+// reshuffle) the default committee.
+func TestLargeCommittee(t *testing.T) {
+	p := NewProblem(100, 5, WithCommittee(15))
+	if p.Committee() != 15 {
+		t.Fatalf("committee = %d, want 15", p.Committee())
+	}
+	small := NewProblem(100, 5, WithCommittee(4))
+	big := NewProblem(100, 5, WithCommittee(12))
+	for i := 0; i < 4; i++ {
+		if small.scenarios[i] != big.scenarios[i] {
+			t.Fatalf("scenario %d differs across committee sizes: %+v vs %+v", i, small.scenarios[i], big.scenarios[i])
+		}
+	}
+	def := NewProblem(100, 5)
+	for i := 0; i < DefaultCommittee; i++ {
+		if def.scenarios[i] != big.scenarios[i] {
+			t.Fatalf("default committee scenario %d not a prefix of the larger committee", i)
+		}
+	}
+	// A degenerate request clamps to one scenario.
+	if got := NewProblem(100, 5, WithCommittee(0)).Committee(); got != 1 {
+		t.Fatalf("committee(0) = %d, want 1", got)
+	}
+}
+
+// TestWarmStartConcurrent exercises the lazy snapshot build under
+// concurrent first use.
+func TestWarmStartConcurrent(t *testing.T) {
+	p := NewProblem(100, 31, WithCommittee(3))
+	x := aedb.Params{MinDelay: 0.1, MaxDelay: 0.3, BorderThresholdDBm: -80, MarginDBm: 1, NeighborsThreshold: 10}.Vector()
+	ref := NewProblem(100, 31, WithCommittee(3), WithWarmStart(false))
+	want, _, _ := ref.Evaluate(x)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, _, _ := p.Evaluate(x)
+			for i := range f {
+				if f[i] != want[i] {
+					errs <- "concurrent warm-start evaluation diverged from cold reference"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+func TestWarmStartErrorSurfaced(t *testing.T) {
+	p := tinyProblem(100, 77)
+	if err := p.WarmStartError(); err != nil {
+		t.Fatalf("error before any build: %v", err)
+	}
+	x := aedb.Params{MinDelay: 0.1, MaxDelay: 0.3, BorderThresholdDBm: -80, MarginDBm: 1, NeighborsThreshold: 10}.Vector()
+	p.Evaluate(x)
+	if err := p.WarmStartError(); err != nil {
+		t.Fatalf("healthy warm start reports error: %v", err)
+	}
+	// Force a build failure and confirm it surfaces.
+	p.snaps[0].err = fmt.Errorf("synthetic failure")
+	if err := p.WarmStartError(); err == nil {
+		t.Fatal("failed snapshot build not surfaced")
 	}
 }

@@ -224,3 +224,73 @@ func TestGridPanicsOnBadCellSize(t *testing.T) {
 	}()
 	NewGrid(Square(10), 0)
 }
+
+func TestFlatGridMatchesBruteForce(t *testing.T) {
+	bounds := Square(1000)
+	const n = 300
+	pts := make([]Vec2, n)
+	x := uint32(7)
+	next := func() float64 {
+		x = x*1664525 + 1013904223
+		return float64(x%100000) / 100
+	}
+	for i := range pts {
+		pts[i] = Vec2{X: next(), Y: next()}
+	}
+	g := NewFlatGrid(bounds, 150, n)
+	g.Build(pts)
+	for _, q := range []Vec2{{X: 0, Y: 0}, {X: 500, Y: 500}, {X: 999, Y: 1}, {X: 140, Y: 860}} {
+		for _, radius := range []float64{10, 150, 400} {
+			got := g.Query(nil, q, radius, -1)
+			want := map[int32]bool{}
+			for i, p := range pts {
+				if p.Dist2(q) <= radius*radius {
+					want[int32(i)] = true
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("q=%v r=%v: %d hits, want %d", q, radius, len(got), len(want))
+			}
+			for _, id := range got {
+				if !want[id] {
+					t.Fatalf("q=%v r=%v: spurious id %d", q, radius, id)
+				}
+			}
+		}
+	}
+}
+
+func TestFlatGridExclude(t *testing.T) {
+	g := NewFlatGrid(Square(100), 50, 3)
+	g.Build([]Vec2{{X: 10, Y: 10}, {X: 12, Y: 10}, {X: 90, Y: 90}})
+	got := g.Query(nil, Vec2{X: 10, Y: 10}, 20, 0)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("exclude failed: %v", got)
+	}
+}
+
+func TestFlatGridRebuildReusesStorage(t *testing.T) {
+	g := NewFlatGrid(Square(100), 25, 50)
+	pts := make([]Vec2, 50)
+	for i := range pts {
+		pts[i] = Vec2{X: float64(i * 2), Y: float64(i)}
+	}
+	g.Build(pts)
+	allocs := testing.AllocsPerRun(50, func() { g.Build(pts) })
+	if allocs > 0 {
+		t.Fatalf("rebuild allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestFlatGridOutOfBoundsClamped(t *testing.T) {
+	// Points slightly outside bounds (float drift) land in edge cells and
+	// stay queryable.
+	g := NewFlatGrid(Square(100), 30, 2)
+	g.Build([]Vec2{{X: -3, Y: 50}, {X: 104, Y: 50}})
+	if got := g.Query(nil, Vec2{X: 0, Y: 50}, 5, -1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("clamped low point lost: %v", got)
+	}
+	if got := g.Query(nil, Vec2{X: 100, Y: 50}, 5, -1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("clamped high point lost: %v", got)
+	}
+}

@@ -15,11 +15,33 @@
 //
 // One Network is one single-goroutine simulation; parallelism happens at a
 // higher level by running many networks concurrently.
+//
+// # Hot-path design
+//
+// The recurring simulation events (beacons, mobility changes, frame
+// boundaries) are scheduled as tagged events — plain (kind, node, payload)
+// triples dispatched through Network.dispatch — so the steady-state event
+// loop allocates nothing: no closures, no per-event heap objects. In-flight
+// frame receptions live in a free-list pool indexed by int32, neighbor
+// tables are timeout-pruned slices instead of maps, and the "who can hear
+// this transmission" query runs against a uniform-grid spatial index
+// (internal/geom.FlatGrid, cell size = max radio range) instead of scanning
+// all N nodes. The index is rebuilt lazily: between rebuilds, queries are
+// inflated by the maximum distance any node can have drifted (bounded by
+// mobility.Model.MaxSpeed) and candidates re-filtered against exact current
+// positions, so results are bit-identical to a full scan.
+//
+// Because the warm-up phase of a scenario (mobility + beaconing before the
+// broadcast starts) depends only on the scenario seed — never on the
+// protocol parameters being evaluated — a warmed-up Network can be captured
+// once into a Snapshot and cheaply re-instantiated per evaluation; see
+// snapshot.go.
 package manet
 
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"aedbmls/internal/geom"
 	"aedbmls/internal/mobility"
@@ -137,6 +159,12 @@ type Message struct {
 }
 
 // Protocol is the interface a dissemination protocol implements per node.
+//
+// When the warm-start snapshot path is in use (see Snapshot), protocol
+// construction and Init run against an already-warmed network, so they
+// must not schedule events or draw from the node RNG — both would diverge
+// from a from-scratch run. Every protocol in this repository satisfies
+// this: Init only binds the node.
 type Protocol interface {
 	// Init binds the protocol instance to its node; called once before
 	// the simulation starts.
@@ -157,15 +185,45 @@ type NeighborEntry struct {
 	LastHeard  float64
 }
 
-// reception tracks one in-flight frame at one receiver.
+// nbrRec is the internal neighbor-table row. Fast beacons store only the
+// squared transmitter distance and defer the dBm conversion (a log10) to
+// table reads, which protocols perform orders of magnitude less often
+// than beacons fire; frame-level beacons already computed the received
+// power for the collision model and store it directly. The deferred
+// conversion uses the identical expression the eager path would have
+// used, so read-time values are bit-identical.
+type nbrRec struct {
+	id        int32
+	hasRx     bool
+	d2        float64 // squared distance at beacon time (when !hasRx)
+	rx        float64 // received power in dBm (when hasRx)
+	lastHeard float64
+}
+
+// reception tracks one in-flight frame at one receiver. Receptions live in
+// the Network's free-list pool and are referenced by index from tagged
+// events and node active sets, so the steady state allocates none.
 type reception struct {
-	from      int
+	from      int32
+	corrupted bool
 	powerDBm  float64
 	start     float64
 	end       float64
 	msg       *Message // nil for beacons
-	corrupted bool
 }
+
+// nbrIndexMaxNodes bounds the per-node ID->row neighbor index: beyond
+// this network size its O(NumNodes^2) total memory outweighs the O(1)
+// upsert, and the small per-node tables are scanned linearly instead.
+const nbrIndexMaxNodes = 512
+
+// Tagged event kinds dispatched by Network.dispatch.
+const (
+	evBeacon     uint16 = iota + 1 // a = node ID
+	evMobility                     // a = node ID
+	evFrameStart                   // a = receiver ID, b = reception index
+	evFrameEnd                     // a = receiver ID, b = reception index
+)
 
 // Node is one device: position (via mobility), radio state, neighbor table
 // and its protocol instance.
@@ -176,40 +234,98 @@ type Node struct {
 	// Rng is the node's private random stream (delays, jitter).
 	Rng *rng.Rand
 
-	proto     Protocol
-	neighbors map[int]NeighborEntry
-	active    []*reception
+	proto Protocol
+	// neighbors is the timeout-pruned neighbor table in insertion order.
+	// nbrPos, when non-nil, maps a node ID to its index+1 in neighbors
+	// (0 = absent) for O(1) upserts; it costs O(NumNodes) per node, so
+	// networks beyond nbrIndexMaxNodes skip it (see upsertNeighbor) to
+	// avoid O(N^2) memory. nbrOut is the scratch Neighbors() renders
+	// public entries into.
+	neighbors []nbrRec
+	nbrPos    []int32
+	nbrOut    []NeighborEntry
+	active    []int32 // in-flight reception pool indices
 	txUntil   float64
 
+	// cachedPos memoises Position at cachedAt, so transmissions sharing
+	// an instant evaluate each trajectory once.
+	cachedPos geom.Vec2
+	cachedAt  float64
+
 	// Accounting.
-	TxEnergyMJ  float64
-	TxFrames    int
-	RxFrames    int
-	LostFrames  int
-	nbrsScratch []NeighborEntry
+	TxEnergyMJ float64
+	TxFrames   int
+	RxFrames   int
+	LostFrames int
 }
 
 // Network returns the owning network (for scheduling, transmitting).
 func (n *Node) Network() *Network { return n.net }
 
 // Position returns the node position at the current simulation time.
-func (n *Node) Position() geom.Vec2 { return n.mob.Position(n.net.Sim.Now()) }
+func (n *Node) Position() geom.Vec2 { return n.net.positionOf(n) }
 
 // Neighbors returns the live neighbor entries (beacons heard within the
-// neighbor timeout). The returned slice is reused across calls; callers
-// must not retain it.
+// neighbor timeout), pruning expired ones in place. Entries whose
+// deferred power conversion lands below the receiver sensitivity (a
+// hair-thin band at the edge of the radio range) are dropped like
+// expired ones. The returned slice is scratch reused across calls;
+// callers must not retain or mutate it.
 func (n *Node) Neighbors() []NeighborEntry {
-	now := n.net.Sim.Now()
-	cutoff := now - n.net.Cfg.NeighborTimeout
-	n.nbrsScratch = n.nbrsScratch[:0]
-	for id, e := range n.neighbors {
-		if e.LastHeard < cutoff {
-			delete(n.neighbors, id)
+	cfg := &n.net.Cfg
+	cutoff := n.net.Sim.Now() - cfg.NeighborTimeout
+	n.nbrOut = n.nbrOut[:0]
+	w := 0
+	for _, e := range n.neighbors {
+		if e.lastHeard < cutoff {
+			n.unindexNeighbor(e.id)
 			continue
 		}
-		n.nbrsScratch = append(n.nbrsScratch, e)
+		rx := e.rx
+		if !e.hasRx {
+			rx = radio.RxPower(cfg.PathLoss, cfg.DefaultTxPowerDBm, math.Sqrt(e.d2))
+			if rx < cfg.SensitivityDBm {
+				n.unindexNeighbor(e.id)
+				continue
+			}
+		}
+		n.neighbors[w] = e
+		if n.nbrPos != nil {
+			n.nbrPos[e.id] = int32(w + 1)
+		}
+		w++
+		n.nbrOut = append(n.nbrOut, NeighborEntry{ID: int(e.id), RxPowerDBm: rx, LastHeard: e.lastHeard})
 	}
-	return n.nbrsScratch
+	n.neighbors = n.neighbors[:w]
+	return n.nbrOut
+}
+
+func (n *Node) unindexNeighbor(id int32) {
+	if n.nbrPos != nil {
+		n.nbrPos[id] = 0
+	}
+}
+
+// upsertNeighbor inserts or refreshes a neighbor table row, via the
+// per-ID index when present or a linear scan of the (small) table when
+// the network is too large to afford one index per node.
+func (n *Node) upsertNeighbor(e nbrRec) {
+	if n.nbrPos != nil {
+		if p := n.nbrPos[e.id]; p > 0 {
+			n.neighbors[p-1] = e
+			return
+		}
+		n.neighbors = append(n.neighbors, e)
+		n.nbrPos[e.id] = int32(len(n.neighbors))
+		return
+	}
+	for i := range n.neighbors {
+		if n.neighbors[i].id == e.id {
+			n.neighbors[i] = e
+			return
+		}
+	}
+	n.neighbors = append(n.neighbors, e)
 }
 
 // Schedule runs fn after delay seconds of simulated time on this node's
@@ -225,12 +341,21 @@ type Network struct {
 	Nodes []*Node
 	Rng   *rng.Rand
 
-	// positions caches every node position at posTime; transmissions
-	// cluster on shared instants, and with <= a few hundred nodes a linear
-	// scan over this slice beats any spatial index rebuild.
-	positions []geom.Vec2
-	posTime   float64
+	// grid is the uniform spatial index over node positions, built at
+	// gridTime. Between rebuilds queries are inflated by maxSpeed drift
+	// (see candidates). maxSpeed is +Inf when any mobility model has no
+	// known bound, forcing a rebuild whenever the clock has moved.
+	grid      *geom.FlatGrid
+	gridTime  float64
+	gridBuilt bool
+	maxSpeed  float64
 	maxRange  float64
+	scratch   []int32     // candidate buffer reused across queries
+	posBuf    []geom.Vec2 // position buffer reused across grid rebuilds
+
+	// recs is the reception pool; freeRecs its free list.
+	recs     []reception
+	freeRecs []int32
 
 	stats     map[int]*BroadcastStats
 	nextMsgID int
@@ -286,9 +411,9 @@ func New(cfg Config, seed uint64, makeProto func(*Node) Protocol) (*Network, err
 		Rng:   master.Split(),
 		stats: make(map[int]*BroadcastStats),
 	}
+	net.Sim.SetHandler(net.dispatch)
 	net.maxRange = cfg.PathLoss.RangeFor(cfg.DefaultTxPowerDBm, cfg.SensitivityDBm)
-	net.positions = make([]geom.Vec2, cfg.NumNodes)
-	net.posTime = -1
+	net.initGrid()
 
 	for i := 0; i < cfg.NumNodes; i++ {
 		nodeRng := master.Split()
@@ -299,14 +424,18 @@ func New(cfg Config, seed uint64, makeProto func(*Node) Protocol) (*Network, err
 			mob = mobility.NewRandomWalk(cfg.Area, cfg.SpeedMin, cfg.SpeedMax, cfg.ChangeInterval, nodeRng.Split())
 		}
 		n := &Node{
-			ID:        i,
-			net:       net,
-			mob:       mob,
-			Rng:       nodeRng,
-			neighbors: make(map[int]NeighborEntry),
+			ID:       i,
+			net:      net,
+			mob:      mob,
+			Rng:      nodeRng,
+			cachedAt: math.NaN(),
+		}
+		if cfg.NumNodes <= nbrIndexMaxNodes {
+			n.nbrPos = make([]int32, cfg.NumNodes)
 		}
 		net.Nodes = append(net.Nodes, n)
 	}
+	net.computeMaxSpeed()
 	// Protocol instances after all nodes exist (they may inspect peers).
 	if makeProto != nil {
 		for _, n := range net.Nodes {
@@ -321,10 +450,54 @@ func New(cfg Config, seed uint64, makeProto func(*Node) Protocol) (*Network, err
 	// Beacons with an initial phase jitter.
 	for _, n := range net.Nodes {
 		phase := n.Rng.Range(0, cfg.BeaconInterval)
-		node := n
-		net.Sim.At(phase, func() { net.beacon(node) })
+		net.Sim.AtTagged(phase, evBeacon, int32(n.ID), 0)
 	}
 	return net, nil
+}
+
+// initGrid sizes the spatial index: one cell per maximum radio range, so
+// any feasible transmission query touches at most a 3x3 block (plus drift
+// slop).
+func (net *Network) initGrid() {
+	cell := net.maxRange
+	if cell <= 0 {
+		cell = math.Max(net.Cfg.Area.Width(), net.Cfg.Area.Height())
+		if cell <= 0 {
+			cell = 1
+		}
+	}
+	net.grid = geom.NewFlatGrid(net.Cfg.Area, cell, net.Cfg.NumNodes)
+	net.gridBuilt = false
+	net.posBuf = make([]geom.Vec2, net.Cfg.NumNodes)
+}
+
+// computeMaxSpeed derives the network-wide node speed bound from the
+// mobility models (+Inf when any model has no bound).
+func (net *Network) computeMaxSpeed() {
+	net.maxSpeed = 0
+	for _, n := range net.Nodes {
+		if s := n.mob.MaxSpeed(); s > net.maxSpeed {
+			net.maxSpeed = s
+		}
+	}
+}
+
+// dispatch routes tagged events to their handlers.
+func (net *Network) dispatch(kind uint16, a, b int32) {
+	switch kind {
+	case evBeacon:
+		net.beacon(net.Nodes[a])
+	case evMobility:
+		n := net.Nodes[a]
+		n.mob.Advance()
+		net.scheduleMobility(n)
+	case evFrameStart:
+		net.frameStart(net.Nodes[a], b)
+	case evFrameEnd:
+		net.frameEnd(net.Nodes[a], b)
+	default:
+		panic(fmt.Sprintf("manet: unknown event kind %d", kind))
+	}
 }
 
 func (net *Network) scheduleMobility(n *Node) {
@@ -332,25 +505,53 @@ func (net *Network) scheduleMobility(n *Node) {
 	if math.IsInf(next, 1) || next > net.Cfg.EndTime {
 		return
 	}
-	net.Sim.At(next, func() {
-		n.mob.Advance()
-		net.invalidatePositions()
-		net.scheduleMobility(n)
-	})
+	net.Sim.AtTagged(next, evMobility, int32(n.ID), 0)
 }
 
-func (net *Network) invalidatePositions() { net.posTime = -1 }
-
-// refreshPositions recomputes the position cache for the current instant.
-func (net *Network) refreshPositions() {
+// positionOf returns a node's exact position at the current instant,
+// memoised per (node, instant).
+func (net *Network) positionOf(n *Node) geom.Vec2 {
 	now := net.Sim.Now()
-	if net.posTime == now {
-		return
+	if n.cachedAt != now {
+		n.cachedPos = n.mob.Position(now)
+		n.cachedAt = now
 	}
-	for i, n := range net.Nodes {
-		net.positions[i] = n.mob.Position(now)
+	return n.cachedPos
+}
+
+// candidates returns the IDs of every node whose current position may lie
+// within radius of center. The set is a superset of the true in-range
+// set: the grid holds positions from gridTime, so the query radius is
+// inflated by how far any node can have drifted since; callers must
+// re-filter with exact positions. The grid is rebuilt when the drift
+// bound grows past a quarter cell (and always when no finite speed bound
+// exists), keeping the inflation — and the candidate excess — small.
+//
+// With sorted true the IDs come back ascending, reproducing the iteration
+// order of a linear scan; callers whose per-candidate effects are
+// independent (beacon table updates) skip the sort.
+func (net *Network) candidates(center geom.Vec2, radius float64, exclude int, sorted bool) []int32 {
+	now := net.Sim.Now()
+	slop := 0.0
+	if !net.gridBuilt || now < net.gridTime {
+		slop = math.Inf(1)
+	} else if now > net.gridTime {
+		slop = net.maxSpeed * (now - net.gridTime)
 	}
-	net.posTime = now
+	if slop > net.grid.CellSize()/4 {
+		for i, n := range net.Nodes {
+			net.posBuf[i] = net.positionOf(n)
+		}
+		net.grid.Build(net.posBuf)
+		net.gridTime = now
+		net.gridBuilt = true
+		slop = 0
+	}
+	net.scratch = net.grid.Query(net.scratch[:0], center, radius+slop, exclude)
+	if sorted {
+		slices.Sort(net.scratch)
+	}
+	return net.scratch
 }
 
 // beacon transmits one hello frame and schedules the next.
@@ -361,7 +562,7 @@ func (net *Network) beacon(n *Node) {
 		} else {
 			net.transmitFrame(n, nil, net.Cfg.DefaultTxPowerDBm, net.Cfg.BeaconBytes)
 		}
-		net.Sim.Schedule(net.Cfg.BeaconInterval, func() { net.beacon(n) })
+		net.Sim.ScheduleTagged(net.Cfg.BeaconInterval, evBeacon, int32(n.ID), 0)
 	}
 }
 
@@ -372,20 +573,16 @@ func (net *Network) fastBeacon(n *Node) {
 	duration := float64(cfg.BeaconBytes*8) / cfg.BitRateBps
 	n.TxEnergyMJ += radio.TxEnergyMilliJoule(cfg.DefaultTxPowerDBm, duration)
 	n.TxFrames++
-	net.refreshPositions()
-	pos := net.positions[n.ID]
+	pos := net.positionOf(n)
 	r2 := net.maxRange * net.maxRange
-	for id, rxPos := range net.positions {
-		d2 := pos.Dist2(rxPos)
-		if id == n.ID || d2 > r2 {
-			continue
-		}
-		rx := radio.RxPower(cfg.PathLoss, cfg.DefaultTxPowerDBm, math.Sqrt(d2))
-		if rx < cfg.SensitivityDBm {
-			continue
-		}
+	for _, id := range net.candidates(pos, net.maxRange, n.ID, false) {
 		other := net.Nodes[id]
-		other.neighbors[n.ID] = NeighborEntry{ID: n.ID, RxPowerDBm: rx, LastHeard: now}
+		d2 := pos.Dist2(net.positionOf(other))
+		if d2 > r2 {
+			continue
+		}
+		// The dBm conversion is deferred to table reads (see nbrRec).
+		other.upsertNeighbor(nbrRec{id: int32(n.ID), d2: d2, lastHeard: now})
 		other.RxFrames++
 	}
 }
@@ -400,16 +597,30 @@ func (net *Network) NewMessage(source int) *Message {
 // StartBroadcast schedules the dissemination of a fresh message from the
 // source node at absolute time t and returns its stats collector.
 func (net *Network) StartBroadcast(source int, t float64) *BroadcastStats {
+	return net.startBroadcast(source, t, false)
+}
+
+// startBroadcast is the shared body of StartBroadcast and the snapshot
+// restore path, which differ only in whether the origination event is
+// ordered ahead of same-time pending events (front).
+func (net *Network) startBroadcast(source int, t float64, front bool) *BroadcastStats {
 	msg := net.NewMessage(source)
 	st := &BroadcastStats{MessageID: msg.ID, Source: source, SentAt: t, FirstRx: make(map[int]float64)}
 	net.stats[msg.ID] = st
-	net.Sim.At(t, func() {
-		n := net.Nodes[source]
-		if n.proto != nil {
-			n.proto.Originate(msg)
-		}
-	})
+	fn := func() { net.originate(source, msg) }
+	if front {
+		net.Sim.AtFront(t, fn)
+	} else {
+		net.Sim.At(t, fn)
+	}
 	return st
+}
+
+func (net *Network) originate(source int, msg *Message) {
+	n := net.Nodes[source]
+	if n.proto != nil {
+		n.proto.Originate(msg)
+	}
 }
 
 // Stats returns the collector for a message ID.
@@ -435,6 +646,24 @@ func (net *Network) TransmitData(n *Node, msg *Message, txPowerDBm float64) {
 	net.transmitFrame(n, msg, txPowerDBm, net.Cfg.DataBytes)
 }
 
+// allocRec takes a reception slot from the pool.
+func (net *Network) allocRec() int32 {
+	if k := len(net.freeRecs); k > 0 {
+		i := net.freeRecs[k-1]
+		net.freeRecs = net.freeRecs[:k-1]
+		return i
+	}
+	net.recs = append(net.recs, reception{})
+	return int32(len(net.recs) - 1)
+}
+
+// freeRec returns a reception slot to the pool, clearing its message
+// reference so pooled slots never pin a finished broadcast.
+func (net *Network) freeRec(i int32) {
+	net.recs[i].msg = nil
+	net.freeRecs = append(net.freeRecs, i)
+}
+
 // transmitFrame implements the shared medium: it finds every node within
 // the feasible range of the chosen power and schedules frame start/end
 // events that apply the half-duplex and capture-threshold rules.
@@ -449,20 +678,22 @@ func (net *Network) transmitFrame(n *Node, msg *Message, txPowerDBm float64, byt
 	if n.txUntil < now+duration {
 		n.txUntil = now + duration
 	}
-	for _, r := range n.active {
-		r.corrupted = true
+	for _, ri := range n.active {
+		net.recs[ri].corrupted = true
 	}
 
-	net.refreshPositions()
-	pos := net.positions[n.ID]
+	pos := net.positionOf(n)
 	reach := cfg.PathLoss.RangeFor(txPowerDBm, cfg.SensitivityDBm)
 	r2 := reach * reach
-	for id, rxPos := range net.positions {
-		d2 := pos.Dist2(rxPos)
-		if id == n.ID || d2 > r2 {
+	// Receivers in ascending ID order: reception events get sequence
+	// numbers in the same order a linear node scan would assign, so
+	// same-instant tie-breaking matches across runs and paths.
+	for _, id := range net.candidates(pos, reach, n.ID, true) {
+		other := net.Nodes[id]
+		d2 := pos.Dist2(net.positionOf(other))
+		if d2 > r2 {
 			continue
 		}
-		other := net.Nodes[id]
 		d := math.Sqrt(d2)
 		rx := radio.RxPower(cfg.PathLoss, txPowerDBm, d)
 		if rx < cfg.SensitivityDBm {
@@ -472,21 +703,23 @@ func (net *Network) transmitFrame(n *Node, msg *Message, txPowerDBm float64, byt
 		if cfg.PropagationSpeed > 0 {
 			prop = d / cfg.PropagationSpeed
 		}
-		rec := &reception{from: n.ID, powerDBm: rx, start: now + prop, end: now + prop + duration, msg: msg}
-		receiver := other
-		net.Sim.At(rec.start, func() { net.frameStart(receiver, rec) })
+		ri := net.allocRec()
+		net.recs[ri] = reception{from: int32(n.ID), powerDBm: rx, start: now + prop, end: now + prop + duration, msg: msg}
+		net.Sim.AtTagged(now+prop, evFrameStart, int32(id), ri)
 	}
 }
 
 // frameStart registers an in-flight frame at the receiver and applies the
 // collision rules against every overlapping frame.
-func (net *Network) frameStart(n *Node, rec *reception) {
+func (net *Network) frameStart(n *Node, ri int32) {
+	rec := &net.recs[ri]
 	// Receiver mid-transmission loses the frame (half duplex).
 	if net.Sim.Now() < n.txUntil {
 		rec.corrupted = true
 	}
 	capture := net.Cfg.CaptureThresholdDB
-	for _, o := range n.active {
+	for _, oi := range n.active {
+		o := &net.recs[oi]
 		// Mutual capture check: a frame survives overlap only if it is at
 		// least `capture` dB stronger than the other.
 		if rec.powerDBm < o.powerDBm+capture {
@@ -496,26 +729,28 @@ func (net *Network) frameStart(n *Node, rec *reception) {
 			o.corrupted = true
 		}
 	}
-	n.active = append(n.active, rec)
-	net.Sim.At(rec.end, func() { net.frameEnd(n, rec) })
+	n.active = append(n.active, ri)
+	net.Sim.AtTagged(rec.end, evFrameEnd, int32(n.ID), ri)
 }
 
 // frameEnd finalises one reception: drop it from the active set and, if it
 // survived, deliver it to the neighbor table (beacon) or protocol (data).
-func (net *Network) frameEnd(n *Node, rec *reception) {
-	for i, o := range n.active {
-		if o == rec {
+func (net *Network) frameEnd(n *Node, ri int32) {
+	for i, oi := range n.active {
+		if oi == ri {
 			n.active[i] = n.active[len(n.active)-1]
 			n.active = n.active[:len(n.active)-1]
 			break
 		}
 	}
+	rec := net.recs[ri]
+	net.freeRec(ri)
 	if rec.corrupted {
 		n.LostFrames++
 		if rec.msg != nil {
 			net.Collisions++
 			if net.Cfg.OnDataLost != nil {
-				net.Cfg.OnDataLost(n.ID, rec.from, rec.msg.ID, net.Sim.Now())
+				net.Cfg.OnDataLost(n.ID, int(rec.from), rec.msg.ID, net.Sim.Now())
 			}
 		}
 		return
@@ -523,7 +758,7 @@ func (net *Network) frameEnd(n *Node, rec *reception) {
 	n.RxFrames++
 	now := net.Sim.Now()
 	if rec.msg == nil {
-		n.neighbors[rec.from] = NeighborEntry{ID: rec.from, RxPowerDBm: rec.powerDBm, LastHeard: now}
+		n.upsertNeighbor(nbrRec{id: rec.from, hasRx: true, rx: rec.powerDBm, lastHeard: now})
 		return
 	}
 	if st := net.stats[rec.msg.ID]; st != nil && n.ID != rec.msg.Origin {
@@ -535,10 +770,10 @@ func (net *Network) frameEnd(n *Node, rec *reception) {
 		}
 	}
 	if net.Cfg.OnDataRx != nil {
-		net.Cfg.OnDataRx(n.ID, rec.from, rec.msg.ID, rec.powerDBm, now)
+		net.Cfg.OnDataRx(n.ID, int(rec.from), rec.msg.ID, rec.powerDBm, now)
 	}
 	if n.proto != nil {
-		n.proto.OnData(rec.msg, rec.from, rec.powerDBm)
+		n.proto.OnData(rec.msg, int(rec.from), rec.powerDBm)
 	}
 }
 

@@ -1,0 +1,201 @@
+// Warm-start scenario snapshots.
+//
+// The warm-up phase of a scenario — mobility walks plus hello beaconing
+// from t=0 until the broadcast starts — depends only on the frozen
+// scenario seed, never on the protocol parameters being evaluated. A
+// Snapshot captures the complete simulation state at the warm-up cut
+// (node positions via cloned mobility models, RNG streams, neighbor
+// tables, in-flight beacon receptions and the pending beacon/mobility
+// event schedule) so that each evaluation clones the warmed state and
+// simulates only the broadcast phase.
+//
+// Determinism contract: a network instantiated from a snapshot produces
+// BIT-IDENTICAL results — every metric, every event, every RNG draw — to
+// a from-scratch simulation of the same (config, seed, protocol, source),
+// provided the protocol's constructor and Init neither schedule events
+// nor draw randomness (see Protocol). This holds because:
+//
+//   - the warm-up is protocol-independent: no protocol callback runs
+//     before the origination event, and beacons never touch protocols;
+//   - every stochastic stream (per-node RNG, per-mobility-model RNG, the
+//     network RNG) is captured exactly and cloned per instantiation;
+//   - the pending event schedule is tagged data, restored in firing
+//     order, and the origination event is inserted AHEAD of same-time
+//     pending events — exactly where a from-scratch run puts it, since
+//     there it is scheduled before the simulation loop starts.
+package manet
+
+import (
+	"fmt"
+	"math"
+
+	"aedbmls/internal/mobility"
+	"aedbmls/internal/rng"
+	"aedbmls/internal/sim"
+)
+
+// nodeState is the frozen per-node slice of a Snapshot.
+type nodeState struct {
+	mob        mobility.Model
+	rng        *rng.Rand
+	neighbors  []nbrRec
+	active     []int32
+	txUntil    float64
+	txEnergyMJ float64
+	txFrames   int
+	rxFrames   int
+	lostFrames int
+}
+
+// Snapshot is an immutable capture of a warmed-up Network. It is safe for
+// concurrent Instantiate calls: instantiation only reads the snapshot.
+type Snapshot struct {
+	cfg       Config
+	now       float64
+	nextMsgID int
+	collision int
+	netRng    *rng.Rand
+	events    []sim.TaggedEvent
+	nodes     []nodeState
+	recs      []reception
+	freeRecs  []int32
+}
+
+// BuildSnapshot simulates cfg from t=0 under the given seed with no
+// protocols attached, up to (but excluding) every event at or after
+// cutTime, and captures the resulting state. cutTime is normally
+// cfg.WarmupTime: the returned snapshot then stands exactly where a
+// from-scratch run stands when its broadcast origination fires.
+func BuildSnapshot(cfg Config, seed uint64, cutTime float64) (*Snapshot, error) {
+	net, err := New(cfg, seed, nil)
+	if err != nil {
+		return nil, err
+	}
+	net.Sim.RunBefore(cutTime)
+	return net.Snapshot()
+}
+
+// Snapshot captures the network's current state. It fails if the state is
+// not serialisable: a pending closure event (protocol timer) or an
+// in-flight data frame cannot be captured, only the protocol-independent
+// warm-up machinery (beacons, mobility, beacon receptions) can.
+func (net *Network) Snapshot() (*Snapshot, error) {
+	events, ok := net.Sim.SnapshotEvents()
+	if !ok {
+		return nil, fmt.Errorf("manet: cannot snapshot with pending closure events")
+	}
+	free := make(map[int32]bool, len(net.freeRecs))
+	for _, i := range net.freeRecs {
+		free[i] = true
+	}
+	for i := range net.recs {
+		if !free[int32(i)] && net.recs[i].msg != nil {
+			return nil, fmt.Errorf("manet: cannot snapshot with data frames in flight")
+		}
+	}
+	s := &Snapshot{
+		cfg:       net.Cfg,
+		now:       net.Sim.Now(),
+		nextMsgID: net.nextMsgID,
+		collision: net.Collisions,
+		netRng:    net.Rng.Clone(),
+		events:    events,
+		nodes:     make([]nodeState, len(net.Nodes)),
+		recs:      append([]reception(nil), net.recs...),
+		freeRecs:  append([]int32(nil), net.freeRecs...),
+	}
+	for i, n := range net.Nodes {
+		s.nodes[i] = nodeState{
+			mob:        n.mob.Clone(),
+			rng:        n.Rng.Clone(),
+			neighbors:  append([]nbrRec(nil), n.neighbors...),
+			active:     append([]int32(nil), n.active...),
+			txUntil:    n.txUntil,
+			txEnergyMJ: n.TxEnergyMJ,
+			txFrames:   n.TxFrames,
+			rxFrames:   n.RxFrames,
+			lostFrames: n.LostFrames,
+		}
+	}
+	return s, nil
+}
+
+// Now returns the simulation time at which the snapshot was taken.
+func (s *Snapshot) Now() float64 { return s.now }
+
+// NumNodes returns the network size of the snapshot.
+func (s *Snapshot) NumNodes() int { return len(s.nodes) }
+
+// PendingEvents returns the number of captured future events.
+func (s *Snapshot) PendingEvents() int { return len(s.events) }
+
+// Instantiate builds a fresh Network from the snapshot, attaches protocol
+// instances, and schedules the dissemination of a new message from the
+// source node at absolute time startAt (ordered before any captured event
+// at the same instant, matching the from-scratch event order). The caller
+// runs the returned network (net.Run()) and reads the stats collector.
+//
+// Each call yields an independent simulation; concurrent calls on one
+// snapshot are safe.
+func (s *Snapshot) Instantiate(makeProto func(*Node) Protocol, source int, startAt float64) (*Network, *BroadcastStats) {
+	net := &Network{
+		Sim:        sim.Restore(s.now, s.events),
+		Cfg:        s.cfg,
+		Rng:        s.netRng.Clone(),
+		stats:      make(map[int]*BroadcastStats),
+		nextMsgID:  s.nextMsgID,
+		Collisions: s.collision,
+		recs:       append([]reception(nil), s.recs...),
+		freeRecs:   append([]int32(nil), s.freeRecs...),
+	}
+	net.Sim.SetHandler(net.dispatch)
+	net.maxRange = s.cfg.PathLoss.RangeFor(s.cfg.DefaultTxPowerDBm, s.cfg.SensitivityDBm)
+	net.initGrid()
+	// Nodes, their RNG states and (when the network is small enough to
+	// afford them, see nbrIndexMaxNodes) ID-index tables come from block
+	// allocations instead of 3N small ones; only mobility clones and
+	// neighbor tables (which grow independently) stay per-node.
+	nn := len(s.nodes)
+	net.Nodes = make([]*Node, nn)
+	nodeBlock := make([]Node, nn)
+	rngBlock := make([]rng.Rand, nn)
+	var posBlock []int32
+	if nn <= nbrIndexMaxNodes {
+		posBlock = make([]int32, nn*nn)
+	}
+	for i := range s.nodes {
+		ns := &s.nodes[i]
+		rngBlock[i] = *ns.rng
+		n := &nodeBlock[i]
+		*n = Node{
+			ID:         i,
+			net:        net,
+			mob:        ns.mob.Clone(),
+			Rng:        &rngBlock[i],
+			neighbors:  append(make([]nbrRec, 0, len(ns.neighbors)+8), ns.neighbors...),
+			active:     append([]int32(nil), ns.active...),
+			txUntil:    ns.txUntil,
+			cachedAt:   math.NaN(),
+			TxEnergyMJ: ns.txEnergyMJ,
+			TxFrames:   ns.txFrames,
+			RxFrames:   ns.rxFrames,
+			LostFrames: ns.lostFrames,
+		}
+		if posBlock != nil {
+			n.nbrPos = posBlock[i*nn : (i+1)*nn : (i+1)*nn]
+			for j, e := range n.neighbors {
+				n.nbrPos[e.id] = int32(j + 1)
+			}
+		}
+		net.Nodes[i] = n
+	}
+	net.computeMaxSpeed()
+	if makeProto != nil {
+		for _, n := range net.Nodes {
+			n.proto = makeProto(n)
+			n.proto.Init(n)
+		}
+	}
+	st := net.startBroadcast(source, startAt, true)
+	return net, st
+}

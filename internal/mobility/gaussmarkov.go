@@ -103,3 +103,14 @@ func (g *GaussMarkov) Advance() {
 	}
 	g.dir = a*g.dir + (1-a)*g.meanDir + noise*g.SigmaD*g.rng.NormFloat64()
 }
+
+// Clone implements Model.
+func (g *GaussMarkov) Clone() Model {
+	c := *g
+	c.rng = g.rng.Clone()
+	return &c
+}
+
+// MaxSpeed implements Model: the autoregressive speed process has
+// unbounded Gaussian noise, so no finite speed bound exists.
+func (g *GaussMarkov) MaxSpeed() float64 { return math.Inf(1) }

@@ -22,7 +22,9 @@ import (
 // their RNG stream.
 type Model interface {
 	// Position returns the node position at time t. t must be
-	// non-decreasing across calls interleaved with Advance.
+	// non-decreasing across calls interleaved with Advance. Trajectories
+	// must be continuous: |Position(t2)-Position(t1)| <= MaxSpeed*(t2-t1)
+	// even across Advance calls, a bound the spatial index relies on.
 	Position(t float64) geom.Vec2
 	// NextChange returns the time of the next trajectory change
 	// (+Inf if the trajectory never changes).
@@ -30,6 +32,13 @@ type Model interface {
 	// Advance recomputes the trajectory at its NextChange time. The
 	// engine calls it exactly once per change event.
 	Advance()
+	// Clone returns an independent deep copy of the model, including its
+	// RNG stream: the clone replays exactly the trajectory the original
+	// would have produced. Snapshots use it to freeze mobility state.
+	Clone() Model
+	// MaxSpeed returns an upper bound on the node speed in m/s, or +Inf
+	// when no bound is known (disables stale spatial-index queries).
+	MaxSpeed() float64
 }
 
 // RandomWalk implements the random-walk (random direction) model of the
@@ -95,6 +104,16 @@ func (w *RandomWalk) Advance() {
 	w.redraw(w.segEnd)
 }
 
+// Clone implements Model.
+func (w *RandomWalk) Clone() Model {
+	c := *w
+	c.rng = w.rng.Clone()
+	return &c
+}
+
+// MaxSpeed implements Model.
+func (w *RandomWalk) MaxSpeed() float64 { return w.SpeedMax }
+
 // RandomWaypoint implements the classic random-waypoint model: pick a
 // uniform destination, travel at uniform speed, optionally pause, repeat.
 type RandomWaypoint struct {
@@ -151,6 +170,16 @@ func (w *RandomWaypoint) Advance() {
 	w.pickLeg(w.segEnd)
 }
 
+// Clone implements Model.
+func (w *RandomWaypoint) Clone() Model {
+	c := *w
+	c.rng = w.rng.Clone()
+	return &c
+}
+
+// MaxSpeed implements Model.
+func (w *RandomWaypoint) MaxSpeed() float64 { return w.SpeedMax }
+
 // Static is a motionless node, useful for unit tests and the MEB-style
 // static-network ablations.
 type Static struct {
@@ -165,3 +194,12 @@ func (s *Static) NextChange() float64 { return math.Inf(1) }
 
 // Advance implements Model.
 func (s *Static) Advance() {}
+
+// Clone implements Model.
+func (s *Static) Clone() Model {
+	c := *s
+	return &c
+}
+
+// MaxSpeed implements Model.
+func (s *Static) MaxSpeed() float64 { return 0 }

@@ -252,3 +252,86 @@ func TestGaussMarkovDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestCloneReplaysTrajectory(t *testing.T) {
+	bounds := geom.Square(500)
+	models := map[string]func() Model{
+		"random-walk":     func() Model { return NewRandomWalk(bounds, 0, 2, 20, rng.New(5)) },
+		"random-waypoint": func() Model { return NewRandomWaypoint(bounds, 0.5, 2, 1, rng.New(6)) },
+		"gauss-markov":    func() Model { return NewGaussMarkov(bounds, 0.7, 1.5, 5, rng.New(7)) },
+		"static":          func() Model { return &Static{P: geom.Vec2{X: 3, Y: 4}} },
+	}
+	for name, mk := range models {
+		orig := mk()
+		// Advance the original through a few segments first, so the clone
+		// captures mid-trajectory state.
+		for i := 0; i < 3; i++ {
+			if nc := orig.NextChange(); nc < math.Inf(1) {
+				orig.Advance()
+			}
+		}
+		clone := orig.Clone()
+		t0 := orig.NextChange()
+		if t0 == math.Inf(1) {
+			t0 = 100
+		}
+		for k := 0; k < 5; k++ {
+			tt := t0 + float64(k)*3.3
+			if orig.NextChange() <= tt {
+				orig.Advance()
+				clone.Advance()
+			}
+			a, b := orig.Position(tt), clone.Position(tt)
+			if a != b {
+				t.Fatalf("%s: clone diverged at t=%v: %v vs %v", name, tt, a, b)
+			}
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	w := NewRandomWalk(geom.Square(100), 0, 2, 1, rng.New(1))
+	c := w.Clone().(*RandomWalk)
+	// Advancing the original must not disturb the clone's stream.
+	before := c.Position(0.5)
+	w.Advance()
+	w.Advance()
+	if got := c.Position(0.5); got != before {
+		t.Fatalf("advancing the original moved the clone: %v vs %v", got, before)
+	}
+}
+
+func TestMaxSpeedBounds(t *testing.T) {
+	bounds := geom.Square(500)
+	if s := NewRandomWalk(bounds, 0, 2, 20, rng.New(1)).MaxSpeed(); s != 2 {
+		t.Fatalf("random walk MaxSpeed = %v", s)
+	}
+	if s := NewRandomWaypoint(bounds, 0, 3, 1, rng.New(1)).MaxSpeed(); s != 3 {
+		t.Fatalf("waypoint MaxSpeed = %v", s)
+	}
+	if s := (&Static{}).MaxSpeed(); s != 0 {
+		t.Fatalf("static MaxSpeed = %v", s)
+	}
+	if s := NewGaussMarkov(bounds, 0.5, 2, 5, rng.New(1)).MaxSpeed(); !math.IsInf(s, 1) {
+		t.Fatalf("gauss-markov MaxSpeed = %v, want +Inf (unbounded)", s)
+	}
+}
+
+// TestPositionLipschitz verifies the drift bound the spatial index relies
+// on: |Position(t2)-Position(t1)| <= MaxSpeed*(t2-t1), across Advance.
+func TestPositionLipschitz(t *testing.T) {
+	w := NewRandomWalk(geom.Square(200), 0, 2, 5, rng.New(11))
+	prevT := 0.0
+	prev := w.Position(0)
+	for step := 1; step <= 200; step++ {
+		tt := float64(step) * 0.7
+		for w.NextChange() <= tt {
+			w.Advance()
+		}
+		p := w.Position(tt)
+		if d := p.Dist(prev); d > w.MaxSpeed()*(tt-prevT)+1e-9 {
+			t.Fatalf("drift %v over %v s exceeds MaxSpeed bound", d, tt-prevT)
+		}
+		prev, prevT = p, tt
+	}
+}

@@ -81,6 +81,26 @@ func (r *Rand) Split() *Rand {
 	return child
 }
 
+// Clone returns an exact copy of the generator: the clone and the
+// original produce identical subsequent streams. It is the primitive the
+// warm-start snapshot path uses to freeze and replay RNG state.
+func (r *Rand) Clone() *Rand {
+	c := *r
+	return &c
+}
+
+// State returns the raw xoshiro256** state (for snapshot serialisation).
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator state with a previously captured one.
+// An all-zero state is replaced by a fixed non-zero constant, as in Seed.
+func (r *Rand) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		s[0] = 0x9e3779b97f4a7c15
+	}
+	r.s = s
+}
+
 // Float64 returns a uniform float64 in [0, 1).
 func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) * 0x1p-53

@@ -270,3 +270,45 @@ func TestUniformityChiSquare(t *testing.T) {
 		t.Fatalf("chi-square = %.1f, distribution looks non-uniform", chi2)
 	}
 }
+
+func TestCloneProducesIdenticalStream(t *testing.T) {
+	r := New(42)
+	for i := 0; i < 10; i++ {
+		r.Uint64()
+	}
+	c := r.Clone()
+	for i := 0; i < 100; i++ {
+		if a, b := r.Uint64(), c.Uint64(); a != b {
+			t.Fatalf("clone diverged at draw %d: %x vs %x", i, a, b)
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	r := New(1)
+	c := r.Clone()
+	r.Uint64() // advance original only
+	a := c.Uint64()
+	r2 := New(1)
+	want := r2.Uint64()
+	if a != want {
+		t.Fatalf("advancing the original disturbed the clone")
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	r := New(9)
+	r.Uint64()
+	st := r.State()
+	want := r.Uint64()
+	var r2 Rand
+	r2.SetState(st)
+	if got := r2.Uint64(); got != want {
+		t.Fatalf("state round-trip: %x vs %x", got, want)
+	}
+	var z Rand
+	z.SetState([4]uint64{})
+	if z.Uint64() == 0 && z.Uint64() == 0 {
+		t.Fatal("all-zero state not repaired")
+	}
+}

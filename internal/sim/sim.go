@@ -6,18 +6,29 @@
 // substrate (beacons, frame receptions, protocol timers, mobility waypoint
 // changes) is expressed entirely as events against this engine, so a whole
 // network simulation is a single goroutine and is bit-for-bit reproducible.
+//
+// The engine offers two scheduling flavours:
+//
+//   - Closure events (Schedule/At) carry an arbitrary func() and return a
+//     cancellable *Event handle. They allocate, and are meant for
+//     low-frequency work such as protocol timers.
+//   - Tagged events (ScheduleTagged/AtTagged) carry only a small integer
+//     payload (kind, a, b) dispatched through the simulator's handler.
+//     They live inline in the heap — scheduling one performs zero heap
+//     allocations — and, because their payload is plain data, a pending
+//     tagged-event schedule can be captured into a snapshot and replayed
+//     in a fresh simulator (see SnapshotEvents/Restore). The MANET hot
+//     path (beacons, mobility changes, frame boundaries) uses these.
 package sim
 
-import "container/heap"
+import "sort"
 
-// Event is a scheduled callback. Events are created by Simulator.Schedule
-// and may be cancelled before they fire.
+// Event is the handle of a scheduled closure callback. Events are created
+// by Schedule/At and may be cancelled before they fire.
 type Event struct {
 	time      float64
-	seq       uint64
 	fn        func()
 	cancelled bool
-	index     int // heap index, -1 once popped
 }
 
 // Time returns the simulation time at which the event fires (or would have
@@ -31,50 +42,71 @@ func (e *Event) Cancel() { e.cancelled = true }
 // Cancelled reports whether Cancel was called.
 func (e *Event) Cancelled() bool { return e.cancelled }
 
-type eventHeap []*Event
+// TaggedEvent is the serialisable form of one pending tagged event, as
+// captured by SnapshotEvents and replayed by Restore.
+type TaggedEvent struct {
+	Time float64
+	Kind uint16
+	A, B int32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+// entry is one future-event-list slot. Closure events point at their
+// *Event handle; tagged events keep their payload inline and ev nil.
+type entry struct {
+	time float64
+	seq  uint64
+	ev   *Event
+	a, b int32
+	kind uint16
+}
+
+// before is the event ordering: by time, then FIFO among simultaneous
+// events via the scheduling sequence number.
+func (e entry) before(o entry) bool {
+	if e.time != o.time {
+		return e.time < o.time
 	}
-	return h[i].seq < h[j].seq // FIFO among simultaneous events
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Simulator owns the simulation clock and the future event list. It is not
 // safe for concurrent use; one simulation runs on one goroutine (many
 // simulations run in parallel at a higher level).
 type Simulator struct {
-	now     float64
-	seq     uint64
-	events  eventHeap
-	stopped bool
-	fired   uint64
+	now       float64
+	seq       uint64
+	heap      []entry
+	stopped   bool
+	fired     uint64
+	frontUsed bool
+	handler   func(kind uint16, a, b int32)
 }
 
-// New returns an empty simulator with the clock at 0.
+// New returns an empty simulator with the clock at 0. Sequence numbers
+// start at 1; sequence 0 is reserved for the single AtFront slot.
 func New() *Simulator {
-	return &Simulator{}
+	return &Simulator{seq: 1}
 }
+
+// Restore builds a simulator whose clock is at now and whose future event
+// list holds exactly the given tagged events, which must be sorted in
+// their intended firing order (as returned by SnapshotEvents). Relative
+// order among same-time events is preserved. The restored sequence
+// counter leaves sequence number 0 free for a single AtFront call.
+func Restore(now float64, events []TaggedEvent) *Simulator {
+	s := &Simulator{now: now}
+	s.heap = make([]entry, len(events))
+	for i, ev := range events {
+		// A sorted array is a valid min-heap as-is.
+		s.heap[i] = entry{time: ev.Time, seq: uint64(i) + 1, kind: ev.Kind, a: ev.A, b: ev.B}
+	}
+	s.seq = uint64(len(events)) + 1
+	return s
+}
+
+// SetHandler installs the dispatch function for tagged events. It must be
+// set before any tagged event fires.
+func (s *Simulator) SetHandler(h func(kind uint16, a, b int32)) { s.handler = h }
 
 // Now returns the current simulation time in seconds.
 func (s *Simulator) Now() float64 { return s.now }
@@ -85,7 +117,48 @@ func (s *Simulator) Fired() uint64 { return s.fired }
 
 // Pending returns the number of scheduled, not-yet-fired events, including
 // cancelled events that have not been drained yet.
-func (s *Simulator) Pending() int { return len(s.events) }
+func (s *Simulator) Pending() int { return len(s.heap) }
+
+// push inserts e and restores the heap invariant (sift-up).
+func (s *Simulator) push(e entry) {
+	s.heap = append(s.heap, e)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.heap[i].before(s.heap[parent]) {
+			break
+		}
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest entry (sift-down).
+func (s *Simulator) pop() entry {
+	h := s.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = entry{} // release any *Event reference
+	s.heap = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.heap[l].before(s.heap[smallest]) {
+			smallest = l
+		}
+		if r < n && s.heap[r].before(s.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s.heap[i], s.heap[smallest] = s.heap[smallest], s.heap[i]
+		i = smallest
+	}
+	return top
+}
 
 // Schedule runs fn after delay seconds of simulated time. A negative delay
 // is treated as zero. Events scheduled for the same instant fire in
@@ -104,10 +177,73 @@ func (s *Simulator) At(t float64, fn func()) *Event {
 	if t < s.now {
 		t = s.now
 	}
-	e := &Event{time: t, seq: s.seq, fn: fn}
+	e := &Event{time: t, fn: fn}
+	s.push(entry{time: t, seq: s.seq, ev: e})
 	s.seq++
-	heap.Push(&s.events, e)
 	return e
+}
+
+// AtFront schedules fn at absolute time t ordered BEFORE every
+// already-pending event at the same time. It is the restore-path
+// primitive: after Restore, the broadcast origination must fire ahead of
+// warm-up events that happen to share its instant, exactly as it would
+// have in a from-scratch run (where it was scheduled first). Sequence
+// number 0 is reserved for this single slot; a second AtFront call on
+// the same simulator panics, since two zero-sequence events at one
+// instant would tie arbitrarily and break reproducibility.
+func (s *Simulator) AtFront(t float64, fn func()) *Event {
+	if s.frontUsed {
+		panic("sim: AtFront called twice on one simulator")
+	}
+	s.frontUsed = true
+	if t < s.now {
+		t = s.now
+	}
+	e := &Event{time: t, fn: fn}
+	s.push(entry{time: t, seq: 0, ev: e})
+	return e
+}
+
+// ScheduleTagged schedules a tagged event after delay seconds. A negative
+// delay is treated as zero. No allocation occurs.
+func (s *Simulator) ScheduleTagged(delay float64, kind uint16, a, b int32) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.AtTagged(s.now+delay, kind, a, b)
+}
+
+// AtTagged schedules a tagged event at absolute time t (clamped to the
+// present, like At). No allocation occurs.
+func (s *Simulator) AtTagged(t float64, kind uint16, a, b int32) {
+	if t < s.now {
+		t = s.now
+	}
+	s.push(entry{time: t, seq: s.seq, kind: kind, a: a, b: b})
+	s.seq++
+}
+
+// SnapshotEvents returns every pending tagged event, sorted in firing
+// order. ok is false if a live (non-cancelled) closure event is pending:
+// closures cannot be serialised, so such a simulator is not snapshottable.
+// Cancelled closure events are ignored.
+func (s *Simulator) SnapshotEvents() (events []TaggedEvent, ok bool) {
+	pending := make([]entry, 0, len(s.heap))
+	for _, e := range s.heap {
+		if e.ev != nil {
+			if e.ev.cancelled {
+				continue
+			}
+			return nil, false
+		}
+		pending = append(pending, e)
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].before(pending[j]) })
+	events = make([]TaggedEvent, len(pending))
+	for i, e := range pending {
+		events[i] = TaggedEvent{Time: e.time, Kind: e.kind, A: e.a, B: e.b}
+	}
+	return events, true
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -123,20 +259,48 @@ func (s *Simulator) Run() {
 // until if that is later and until >= 0.
 func (s *Simulator) RunUntil(until float64) {
 	s.stopped = false
-	for len(s.events) > 0 && !s.stopped {
-		next := s.events[0]
-		if until >= 0 && next.time > until {
+	for len(s.heap) > 0 && !s.stopped {
+		if until >= 0 && s.heap[0].time > until {
 			break
 		}
-		heap.Pop(&s.events)
-		if next.cancelled {
+		next := s.pop()
+		if next.ev != nil && next.ev.cancelled {
 			continue
 		}
 		s.now = next.time
 		s.fired++
-		next.fn()
+		if next.ev != nil {
+			next.ev.fn()
+		} else {
+			s.handler(next.kind, next.a, next.b)
+		}
 	}
 	if until >= 0 && s.now < until {
 		s.now = until
+	}
+}
+
+// RunBefore executes every event with time strictly less than cut and
+// leaves the clock at the last executed event (it does NOT advance the
+// clock to cut). This is the warm-up primitive: running before the
+// broadcast start time yields exactly the state a from-scratch simulation
+// has when the origination event fires.
+func (s *Simulator) RunBefore(cut float64) {
+	s.stopped = false
+	for len(s.heap) > 0 && !s.stopped {
+		if s.heap[0].time >= cut {
+			break
+		}
+		next := s.pop()
+		if next.ev != nil && next.ev.cancelled {
+			continue
+		}
+		s.now = next.time
+		s.fired++
+		if next.ev != nil {
+			next.ev.fn()
+		} else {
+			s.handler(next.kind, next.a, next.b)
+		}
 	}
 }

@@ -197,3 +197,171 @@ func TestManyEventsStaySorted(t *testing.T) {
 		t.Fatalf("Fired = %d", s.Fired())
 	}
 }
+
+func TestTaggedEventsDispatch(t *testing.T) {
+	s := New()
+	type hit struct {
+		kind uint16
+		a, b int32
+		at   float64
+	}
+	var hits []hit
+	s.SetHandler(func(kind uint16, a, b int32) {
+		hits = append(hits, hit{kind, a, b, s.Now()})
+	})
+	s.ScheduleTagged(2, 7, 1, 2)
+	s.AtTagged(1, 9, 3, 4)
+	s.Run()
+	if len(hits) != 2 {
+		t.Fatalf("hits = %d", len(hits))
+	}
+	if hits[0] != (hit{9, 3, 4, 1}) || hits[1] != (hit{7, 1, 2, 2}) {
+		t.Fatalf("hits = %+v", hits)
+	}
+}
+
+func TestTaggedAndClosureInterleave(t *testing.T) {
+	s := New()
+	var order []string
+	s.SetHandler(func(kind uint16, a, b int32) { order = append(order, "tagged") })
+	s.At(1, func() { order = append(order, "closure") })
+	s.AtTagged(1, 1, 0, 0)
+	s.At(1, func() { order = append(order, "closure2") })
+	s.Run()
+	want := []string{"closure", "tagged", "closure2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (FIFO across flavours)", order, want)
+		}
+	}
+}
+
+func TestRunBefore(t *testing.T) {
+	s := New()
+	var fired []float64
+	for _, tt := range []float64{1, 2, 3, 4} {
+		tt := tt
+		s.At(tt, func() { fired = append(fired, tt) })
+	}
+	s.RunBefore(3)
+	if len(fired) != 2 {
+		t.Fatalf("RunBefore(3) fired %v, want events strictly before 3", fired)
+	}
+	if s.Now() != 2 {
+		t.Fatalf("clock = %v, want last executed event time 2", s.Now())
+	}
+	s.Run()
+	if len(fired) != 4 {
+		t.Fatalf("resume after RunBefore fired %v", fired)
+	}
+}
+
+func TestSnapshotEventsAndRestore(t *testing.T) {
+	s := New()
+	s.SetHandler(func(uint16, int32, int32) {})
+	s.AtTagged(5, 1, 10, 0)
+	s.AtTagged(3, 2, 20, 0)
+	s.AtTagged(5, 3, 30, 0)
+	events, ok := s.SnapshotEvents()
+	if !ok {
+		t.Fatal("tagged-only simulator not snapshottable")
+	}
+	if len(events) != 3 || events[0].Kind != 2 || events[1].Kind != 1 || events[2].Kind != 3 {
+		t.Fatalf("events = %+v, want firing order 2,1,3", events)
+	}
+
+	r := Restore(1.5, events)
+	var kinds []uint16
+	r.SetHandler(func(kind uint16, a, b int32) { kinds = append(kinds, kind) })
+	if r.Now() != 1.5 {
+		t.Fatalf("restored clock = %v", r.Now())
+	}
+	r.Run()
+	if len(kinds) != 3 || kinds[0] != 2 || kinds[1] != 1 || kinds[2] != 3 {
+		t.Fatalf("restored firing order = %v", kinds)
+	}
+}
+
+func TestSnapshotEventsRejectsClosures(t *testing.T) {
+	s := New()
+	s.At(1, func() {})
+	if _, ok := s.SnapshotEvents(); ok {
+		t.Fatal("closure event accepted by SnapshotEvents")
+	}
+	// A cancelled closure is ignorable.
+	s2 := New()
+	s2.At(1, func() {}).Cancel()
+	s2.AtTagged(2, 1, 0, 0)
+	events, ok := s2.SnapshotEvents()
+	if !ok || len(events) != 1 {
+		t.Fatalf("cancelled closure blocked snapshot: ok=%v events=%d", ok, len(events))
+	}
+}
+
+func TestAtFrontOrdersBeforeSameTimePending(t *testing.T) {
+	s := New()
+	s.SetHandler(func(uint16, int32, int32) {})
+	s.AtTagged(5, 1, 0, 0)
+	s.AtTagged(5, 2, 0, 0)
+	events, _ := s.SnapshotEvents()
+
+	r := Restore(0, events)
+	var order []string
+	r.SetHandler(func(kind uint16, a, b int32) { order = append(order, "pending") })
+	r.AtFront(5, func() { order = append(order, "front") })
+	// A regular At at the same time goes after the pending events.
+	r.At(5, func() { order = append(order, "late") })
+	r.Run()
+	want := []string{"front", "pending", "pending", "late"}
+	if len(order) != 4 {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTaggedSchedulingDoesNotAllocate(t *testing.T) {
+	s := New()
+	s.SetHandler(func(kind uint16, a, b int32) {
+		if kind == 1 && a < 1000 {
+			s.ScheduleTagged(1, 1, a+1, 0)
+		}
+	})
+	s.AtTagged(0, 1, 0, 0)
+	// Warm the heap storage, then measure steady-state allocations.
+	s.RunUntil(100)
+	allocs := testing.AllocsPerRun(100, func() {
+		s.ScheduleTagged(0.5, 2, 0, 0)
+		s.RunUntil(s.Now() + 0.6)
+	})
+	if allocs > 0 {
+		t.Fatalf("tagged event path allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestAtFrontSingleUse(t *testing.T) {
+	s := Restore(0, nil)
+	s.AtFront(1, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second AtFront did not panic")
+		}
+	}()
+	s.AtFront(1, func() {})
+}
+
+func TestAtFrontOnFreshSimulatorBeatsFirstAt(t *testing.T) {
+	// Regular sequence numbers start at 1, so the reserved front slot
+	// orders first even against the very first At event.
+	s := New()
+	var order []string
+	s.At(5, func() { order = append(order, "at") })
+	s.AtFront(5, func() { order = append(order, "front") })
+	s.Run()
+	if len(order) != 2 || order[0] != "front" || order[1] != "at" {
+		t.Fatalf("order = %v, want front before the first At event", order)
+	}
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# bench.sh — capture the evaluation-engine perf trajectory.
+#
+# Runs BenchmarkEvaluation and BenchmarkTableII_Simulation with -benchmem
+# and writes a JSON summary (ns/op, B/op, allocs/op per density) so future
+# PRs can compare against the recorded baseline.
+#
+# Usage: scripts/bench.sh [output.json] [benchtime]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH.json}"
+BENCHTIME="${2:-20x}"
+
+RAW="$(go test -run '^$' -bench 'BenchmarkEvaluation|BenchmarkTableII_Simulation' \
+  -benchmem -benchtime="$BENCHTIME" . 2>&1)"
+echo "$RAW"
+
+echo "$RAW" | awk -v benchtime="$BENCHTIME" '
+  BEGIN { n = 0 }
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    split(name, parts, "/")
+    lines[n++] = sprintf("  {\"benchmark\": \"%s\", \"density\": %s, \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+      parts[1], parts[2], $2, $3, $5, $7)
+  }
+  END {
+    print "{"
+    print "\"benchtime\": \"" benchtime "\","
+    print "\"results\": ["
+    for (i = 0; i < n; i++) print lines[i] (i < n - 1 ? "," : "")
+    print "]}"
+  }
+' > "$OUT"
+
+echo "wrote $OUT"
