@@ -28,6 +28,19 @@ type Config struct {
 	ResetPeriod int
 	// Committee is the number of frozen networks per evaluation.
 	Committee int
+	// NeighborhoodSize batches the local search: each iteration generates
+	// this many candidate moves and evaluates them as one committee wave
+	// through the batched evaluation engine. 0 or 1 is the paper's
+	// single-candidate step.
+	NeighborhoodSize int
+	// ScenarioWorkers fans each evaluation's committee across up to this
+	// many goroutines (committee-parallel evaluation, bit-identical
+	// metrics). 0 or 1 evaluates the committee serially, which is right
+	// when Populations x Workers already saturates the cores.
+	ScenarioWorkers int
+	// BatchWorkers caps the goroutines of one batched evaluation wave set
+	// (0 = GOMAXPROCS).
+	BatchWorkers int
 	// Deterministic selects the bit-reproducible round-robin execution
 	// instead of the threaded one.
 	Deterministic bool
@@ -84,10 +97,17 @@ func Tune(cfg Config) (*Result, error) {
 	}
 	mls.Seed = cfg.Seed
 	mls.Criteria = core.DefaultAEDBCriteria()
+	mls.NeighborhoodSize = cfg.NeighborhoodSize
 
 	var opts []eval.Option
 	if cfg.Committee > 0 {
 		opts = append(opts, eval.WithCommittee(cfg.Committee))
+	}
+	if cfg.ScenarioWorkers > 1 {
+		opts = append(opts, eval.WithScenarioWorkers(cfg.ScenarioWorkers))
+	}
+	if cfg.BatchWorkers > 0 {
+		opts = append(opts, eval.WithBatchWorkers(cfg.BatchWorkers))
 	}
 	problem := eval.NewProblem(cfg.Density, cfg.Seed, opts...)
 

@@ -9,6 +9,7 @@
 package aedbmls_test
 
 import (
+	"runtime"
 	"testing"
 
 	"aedbmls/internal/aedb"
@@ -56,6 +57,89 @@ func BenchmarkEvaluation(b *testing.B) {
 	for _, density := range []int{100, 200, 300} {
 		b.Run(benchName(density), func(b *testing.B) {
 			p := eval.NewProblem(density, 1)
+			x := referenceParams.Vector()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Evaluate(x)
+			}
+		})
+	}
+}
+
+// batchNeighborhood builds the 64-candidate MLS-style neighborhood the
+// batch benchmarks stream: BLX-alpha perturbations of referenceParams
+// along the paper's search criteria, with references interpolated among
+// feasible population-like anchors — the workload a worker's batched step
+// actually produces (population members are feasible, so their delays sit
+// well under the 2 s broadcast budget).
+func batchNeighborhood(n int) [][]float64 {
+	r := rng.New(7)
+	lo, hi := aedb.DefaultDomain().Bounds()
+	base := referenceParams.Vector()
+	anchors := [][]float64{
+		{0.05, 0.30, -88, 0.5, 5},
+		{0.15, 0.60, -82, 1.5, 20},
+		{0.02, 0.45, -76, 2.5, 40},
+	}
+	criteria := core.DefaultAEDBCriteria()
+	xs := make([][]float64, n)
+	for i := range xs {
+		a, b := anchors[r.Intn(len(anchors))], anchors[r.Intn(len(anchors))]
+		u := r.Float64()
+		ref := make([]float64, len(base))
+		for k := range ref {
+			ref[k] = a[k] + u*(b[k]-a[k])
+		}
+		crit := criteria[r.Intn(len(criteria))]
+		xs[i] = operators.PerturbBLX(base, ref, crit.Params, 0.2, lo, hi, r)
+	}
+	return xs
+}
+
+// BenchmarkEvaluateBatch measures one batched evaluation of a 64-vector
+// neighborhood (the unit of the MLS batched step and of a MOEA offspring
+// generation). Compare against 64x BenchmarkEvaluation ns/op — or
+// directly against BenchmarkEvaluateSerial64 — for the batch speedup
+// recorded in BENCH_PR2.json.
+func BenchmarkEvaluateBatch(b *testing.B) {
+	xs := batchNeighborhood(64)
+	for _, density := range []int{100, 200, 300} {
+		b.Run(benchName(density), func(b *testing.B) {
+			p := eval.NewProblem(density, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.EvaluateBatch(xs)
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluateSerial64 is the serial baseline of the batch speedup:
+// the same 64-vector neighborhood through 64 Evaluate calls.
+func BenchmarkEvaluateSerial64(b *testing.B) {
+	xs := batchNeighborhood(64)
+	for _, density := range []int{100, 200, 300} {
+		b.Run(benchName(density), func(b *testing.B) {
+			p := eval.NewProblem(density, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, x := range xs {
+					p.Evaluate(x)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluationParallelCommittee measures one committee evaluation
+// with the committee fanned across GOMAXPROCS scenario workers — the
+// single-evaluation latency knob. On a single-core host it degenerates
+// to the serial path plus scheduling overhead.
+func BenchmarkEvaluationParallelCommittee(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	for _, density := range []int{100, 200, 300} {
+		b.Run(benchName(density), func(b *testing.B) {
+			p := eval.NewProblem(density, 1, eval.WithScenarioWorkers(workers))
 			x := referenceParams.Vector()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

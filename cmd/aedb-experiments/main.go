@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	aedb-experiments [-scale tiny|small|paper] [-out dir]
+//	aedb-experiments [-scale tiny|small|paper] [-out dir] [-scenario-workers 1]
 //	                 [-only fig2,tab1,fig6,fig7,tab4,timing,config,ablation,memetic,beacons,mobility,spea2]
 //
 // The default small scale keeps all structural ratios of the paper
@@ -31,6 +31,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset of experiments (default: all)")
 	seed := flag.Uint64("seed", 0, "override the base seed (0 keeps the scale default)")
 	outDir := flag.String("out", "", "directory for machine-readable bundles (JSON) and fronts (CSV); empty disables")
+	scenarioWorkers := flag.Int("scenario-workers", 1, "goroutines per evaluation committee (results are bit-identical for any value)")
 	flag.Parse()
 
 	sc, err := experiments.ScaleByName(*scaleName)
@@ -40,6 +41,7 @@ func main() {
 	if *seed != 0 {
 		sc.Seed = *seed
 	}
+	sc.ScenarioWorkers = *scenarioWorkers
 	want := map[string]bool{}
 	if *only != "" {
 		for _, k := range strings.Split(*only, ",") {

@@ -1,0 +1,16 @@
+package main
+
+import (
+	"testing"
+
+	"aedbmls/internal/smoketest"
+)
+
+func TestMainSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke run is too slow for -short")
+	}
+	smoketest.Run(t, []string{"aedb-experiments",
+		"-scale", "tiny", "-only", "mobility", "-scenario-workers", "2",
+	}, main)
+}

@@ -5,6 +5,7 @@
 //
 //	aedb-mls [-density 100] [-seed 1] [-pops 8] [-workers 12]
 //	         [-evals 250] [-reset 50] [-alpha 0.2] [-committee 10]
+//	         [-neighborhood 1] [-scenario-workers 1]
 package main
 
 import (
@@ -28,15 +29,19 @@ func main() {
 	reset := flag.Int("reset", 15, "iterations between population resets (paper: 50)")
 	alpha := flag.Float64("alpha", 0.2, "BLX-alpha perturbation magnitude (paper: 0.2)")
 	committee := flag.Int("committee", 10, "frozen networks per evaluation (paper: 10)")
+	neighborhood := flag.Int("neighborhood", 1, "candidate moves batched per local-search iteration (1 = paper's step)")
+	scenarioWorkers := flag.Int("scenario-workers", 1, "goroutines per evaluation committee (1 = serial committee)")
 	flag.Parse()
 
-	problem := eval.NewProblem(*density, *seed, eval.WithCommittee(*committee))
+	problem := eval.NewProblem(*density, *seed,
+		eval.WithCommittee(*committee), eval.WithScenarioWorkers(*scenarioWorkers))
 	cfg := core.DefaultConfig()
 	cfg.Populations = *pops
 	cfg.Workers = *workers
 	cfg.EvalsPerWorker = *evals
 	cfg.ResetPeriod = *reset
 	cfg.Alpha = *alpha
+	cfg.NeighborhoodSize = *neighborhood
 	cfg.Seed = *seed
 	cfg.Criteria = core.DefaultAEDBCriteria()
 

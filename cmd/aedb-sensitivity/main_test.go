@@ -1,0 +1,16 @@
+package main
+
+import (
+	"testing"
+
+	"aedbmls/internal/smoketest"
+)
+
+func TestMainSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Fast99 smoke run is too slow for -short")
+	}
+	smoketest.Run(t, []string{"aedb-sensitivity",
+		"-density", "100", "-n", "65", "-committee", "2",
+	}, main)
+}

@@ -1,0 +1,11 @@
+package main
+
+import (
+	"testing"
+
+	"aedbmls/internal/smoketest"
+)
+
+func TestMainSmoke(t *testing.T) {
+	smoketest.Run(t, []string{"aedb-sim", "-density", "100", "-seed", "3"}, main)
+}

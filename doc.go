@@ -48,6 +48,35 @@
 // rather than an O(N) node scan, which is what lets scenarios scale past
 // 1,000 nodes.
 //
+// # Batched and committee-parallel evaluation
+//
+// On top of the warm-start substrate sit two throughput engines (PR 2):
+//
+//   - eval.(*Problem).EvaluateBatch evaluates a whole set of parameter
+//     vectors scenario-major — one snapshot-clone wave per committee
+//     scenario streams every candidate — with the beacon evolution of
+//     each scenario recorded once into a manet.BeaconTape and shared by
+//     all candidates, and each simulation stopped at broadcast
+//     quiescence (no pending protocol timer, no data frame in flight)
+//     instead of running its protocol-independent tail. Objectives and
+//     Metrics are bit-identical to serial Evaluate; the 64-candidate
+//     neighborhood benchmark runs 4.05x faster than 64 serial calls at
+//     density 300 on one core (BENCH_PR2.json). Every optimiser detects
+//     the capability
+//     through moo.BatchProblem: the MLS batched neighborhood step
+//     (core.Config.NeighborhoodSize, aedbmls.Config.NeighborhoodSize),
+//     core.ImproveBatch, and whole-generation evaluation in NSGA-II,
+//     SPEA2 and CellDE's initial grid.
+//   - eval.WithScenarioWorkers(n) fans the ten-network committee of a
+//     single Evaluate across goroutines (aedbmls.Config.ScenarioWorkers,
+//     aedb-mls/aedb-experiments -scenario-workers), cutting evaluation
+//     latency when optimiser-level parallelism leaves cores idle.
+//
+// Both engines reduce the committee average in committee order, so their
+// results are bit-identical to the serial reference path for any worker
+// count — pinned by equivalence tests from internal/eval up to
+// aedbmls.Tune, and by a -race CI job.
+//
 // See README.md for a quickstart and DESIGN.md for the full system
 // inventory and per-experiment index.
 package aedbmls

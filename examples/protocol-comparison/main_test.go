@@ -1,0 +1,14 @@
+package main
+
+import (
+	"testing"
+
+	"aedbmls/internal/smoketest"
+)
+
+func TestMainSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three-density protocol comparison is too slow for -short")
+	}
+	smoketest.Run(t, []string{"protocol-comparison"}, main)
+}

@@ -1,0 +1,14 @@
+package main
+
+import (
+	"testing"
+
+	"aedbmls/internal/smoketest"
+)
+
+func TestMainSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example tuning run is too slow for -short")
+	}
+	smoketest.Run(t, []string{"quickstart"}, main)
+}

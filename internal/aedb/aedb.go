@@ -241,6 +241,19 @@ func (a *Protocol) OnData(msg *manet.Message, from int, rxPowerDBm float64) {
 		if rxPowerDBm > st.pbest {
 			st.pbest = rxPowerDBm
 		}
+		if st.pbest > a.P.BorderThresholdDBm {
+			// The node is disqualified for good: pbest only ever rises, so
+			// the timer could now only drop. Resolving the drop here instead
+			// of at expiry is observably identical (Fig. 1 re-checks pbest
+			// at fire time) and releases the closure early, which lets the
+			// evaluation engine's quiescence detection stop the simulation
+			// as soon as the last *live* forwarding decision is resolved.
+			st.timer.Cancel()
+			st.timer = nil
+			st.waiting = false
+			st.done = true
+			a.Drops++
+		}
 	}
 }
 

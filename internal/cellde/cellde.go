@@ -45,8 +45,11 @@ type Config struct {
 
 	// Memetic options (zero-valued in plain CellDE): every offspring
 	// accepted into the grid receives LocalSearchIters improvement steps
-	// with the AEDB-MLS operator.
+	// with the AEDB-MLS operator. LocalSearchBatch > 1 groups those steps
+	// into batched neighborhoods (core.ImproveBatch), one committee wave
+	// per round on batch-capable problems.
 	LocalSearchIters int
+	LocalSearchBatch int
 	LocalSearchAlpha float64
 	Criteria         []core.Criterion
 }
@@ -118,9 +121,17 @@ func Optimize(p moo.Problem, cfg Config) (*Result, error) {
 		return moo.NewSolution(p, x)
 	}
 
-	grid := make([]*moo.Solution, n)
+	// The initial grid is one batched evaluation; the sweeps below stay
+	// sequential by design — CellDE is an asynchronous cellular GA, so
+	// each cell's variation depends on offspring already placed this
+	// sweep, which admits no batching without changing the algorithm.
+	xs := make([][]float64, n)
+	for i := range xs {
+		xs[i] = operators.RandomVector(lo, hi, r)
+	}
+	grid := moo.EvaluateAll(p, xs)
+	evals += int64(n)
 	for i := range grid {
-		grid[i] = evaluate(operators.RandomVector(lo, hi, r))
 		if grid[i].Feasible() {
 			arch.Add(grid[i])
 		}
@@ -143,8 +154,8 @@ func Optimize(p moo.Problem, cfg Config) (*Result, error) {
 			trial := operators.DERand1Bin(cur.X, cur.X, p1.X, p2.X, cfg.CR, cfg.F, lo, hi, r)
 			child := evaluate(trial)
 			if cfg.LocalSearchIters > 0 && evals < budget {
-				improved, spent := core.Improve(p, child, solutionsAt(grid, nbrs), cfg.LocalSearchIters,
-					cfg.LocalSearchAlpha, cfg.Criteria, r)
+				improved, spent := core.ImproveBatch(p, child, solutionsAt(grid, nbrs), cfg.LocalSearchIters,
+					cfg.LocalSearchBatch, cfg.LocalSearchAlpha, cfg.Criteria, r)
 				evals += int64(spent)
 				child = improved
 			}

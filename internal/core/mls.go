@@ -87,6 +87,14 @@ type Config struct {
 	// Criteria are the search criteria; nil selects PerDimensionCriteria,
 	// and AEDB runs should pass DefaultAEDBCriteria().
 	Criteria []Criterion
+	// NeighborhoodSize is the number of candidate perturbations each
+	// local-search iteration generates and evaluates together — routed
+	// through moo.BatchProblem (one batched committee evaluation) when the
+	// problem supports it. All candidates of an iteration perturb the same
+	// current solution; every feasible one is offered to the archive and
+	// the last feasible one becomes the worker's new current solution.
+	// 0 or 1 reproduces the paper's single-candidate step exactly.
+	NeighborhoodSize int
 	// Seed drives all randomness.
 	Seed uint64
 }
@@ -130,8 +138,18 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: Alpha must be in (0,1), got %g", c.Alpha)
 	case c.ArchiveCapacity <= 0:
 		return fmt.Errorf("core: ArchiveCapacity must be positive")
+	case c.NeighborhoodSize < 0:
+		return fmt.Errorf("core: negative NeighborhoodSize")
 	}
 	return nil
+}
+
+// neighborhood returns the effective per-iteration candidate count.
+func (c Config) neighborhood() int {
+	if c.NeighborhoodSize < 1 {
+		return 1
+	}
+	return c.NeighborhoodSize
 }
 
 // Result is the outcome of one AEDB-MLS execution.
@@ -252,6 +270,14 @@ func (w *worker) evaluate(x []float64) *moo.Solution {
 	return moo.NewSolution(w.problem, x)
 }
 
+// evaluateAll spends budget on a whole neighborhood at once, batching the
+// underlying committee evaluations when the problem supports it.
+func (w *worker) evaluateAll(xs [][]float64) []*moo.Solution {
+	w.spent += len(xs)
+	w.evals.Add(int64(len(xs)))
+	return moo.EvaluateAll(w.problem, xs)
+}
+
 // run executes the Fig. 3 pseudocode.
 func (w *worker) run() {
 	defer w.barrier.Leave()
@@ -273,16 +299,27 @@ func (w *worker) run() {
 		if t == nil {
 			t = s
 		}
-		// Lines 7-8: perturb along a random search criterion, evaluate.
-		crit := w.criteria[w.rng.Intn(len(w.criteria))]
-		x := operators.PerturbBLX(s.X, t.X, crit.Params, w.cfg.Alpha, w.lo, w.hi, w.rng)
-		cand := w.evaluate(x)
+		// Lines 7-8: perturb along random search criteria and evaluate.
+		// With NeighborhoodSize > 1 the iteration generates several
+		// candidate moves from the same base solution and evaluates them
+		// as one batch (one committee wave on batch-capable problems).
+		k := w.cfg.neighborhood()
+		if rem := w.cfg.EvalsPerWorker - w.spent; k > rem {
+			k = rem
+		}
+		xs := make([][]float64, k)
+		for j := range xs {
+			crit := w.criteria[w.rng.Intn(len(w.criteria))]
+			xs[j] = operators.PerturbBLX(s.X, t.X, crit.Params, w.cfg.Alpha, w.lo, w.hi, w.rng)
+		}
 		// Lines 9-12: accept and archive feasible moves.
-		if cand.Feasible() {
-			w.archive.AddAsync(cand)
-			s = cand
-			w.pop.set(w.slot, s)
-			w.accepted.Add(1)
+		for _, cand := range w.evaluateAll(xs) {
+			if cand.Feasible() {
+				w.archive.AddAsync(cand)
+				s = cand
+				w.pop.set(w.slot, s)
+				w.accepted.Add(1)
+			}
 		}
 		// Lines 13-16: periodic re-initialisation from the archive.
 		if iter%w.cfg.ResetPeriod == 0 && w.spent < w.cfg.EvalsPerWorker {
@@ -316,22 +353,46 @@ func (w *worker) initialise() *moo.Solution {
 // memetic MOEAs use (see internal/cellde.Memetic).
 func Improve(p moo.Problem, s *moo.Solution, pop []*moo.Solution, iters int, alpha float64,
 	criteria []Criterion, r *rng.Rand) (*moo.Solution, int) {
+	return ImproveBatch(p, s, pop, iters, 1, alpha, criteria, r)
+}
+
+// ImproveBatch is Improve with a batched neighborhood: each round draws
+// up to batch candidate perturbations (each with its own reference and
+// criterion, exactly the draws Improve would make), evaluates them
+// together — one committee wave on moo.BatchProblem implementations —
+// and applies Improve's acceptance rule to the results in order. The
+// difference from Improve is that a round's candidates all perturb the
+// round's starting solution instead of chaining; batch <= 1 makes the
+// rounds single-candidate and is exactly Improve.
+func ImproveBatch(p moo.Problem, s *moo.Solution, pop []*moo.Solution, iters, batch int, alpha float64,
+	criteria []Criterion, r *rng.Rand) (*moo.Solution, int) {
 	if len(criteria) == 0 {
 		criteria = PerDimensionCriteria(p.Dim())
 	}
+	if batch < 1 {
+		batch = 1
+	}
 	lo, hi := p.Bounds()
 	spent := 0
-	for i := 0; i < iters; i++ {
-		t := s
-		if len(pop) > 0 {
-			t = pop[r.Intn(len(pop))]
+	for spent < iters {
+		k := batch
+		if rem := iters - spent; k > rem {
+			k = rem
 		}
-		crit := criteria[r.Intn(len(criteria))]
-		x := operators.PerturbBLX(s.X, t.X, crit.Params, alpha, lo, hi, r)
-		cand := moo.NewSolution(p, x)
-		spent++
-		if cand.Feasible() && !moo.Dominates(s, cand) {
-			s = cand
+		xs := make([][]float64, k)
+		for j := range xs {
+			t := s
+			if len(pop) > 0 {
+				t = pop[r.Intn(len(pop))]
+			}
+			crit := criteria[r.Intn(len(criteria))]
+			xs[j] = operators.PerturbBLX(s.X, t.X, crit.Params, alpha, lo, hi, r)
+		}
+		spent += k
+		for _, cand := range moo.EvaluateAll(p, xs) {
+			if cand.Feasible() && !moo.Dominates(s, cand) {
+				s = cand
+			}
 		}
 	}
 	return s, spent

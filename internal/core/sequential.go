@@ -43,6 +43,11 @@ func OptimizeSequential(p moo.Problem, cfg Config, arch archive.Interface) (*Res
 		res.Evaluations++
 		return moo.NewSolution(p, x)
 	}
+	evaluateAll := func(w *vworker, xs [][]float64) []*moo.Solution {
+		w.spent += len(xs)
+		res.Evaluations += int64(len(xs))
+		return moo.EvaluateAll(p, xs)
+	}
 	sampleArchive := func() *moo.Solution {
 		if n := arch.Len(); n > 0 {
 			return arch.Contents()[archRng.Intn(n)]
@@ -89,13 +94,23 @@ func OptimizeSequential(p moo.Problem, cfg Config, arch archive.Interface) (*Res
 				if t == nil {
 					t = w.s
 				}
-				crit := criteria[w.rng.Intn(len(criteria))]
-				x := operators.PerturbBLX(w.s.X, t.X, crit.Params, cfg.Alpha, lo, hi, w.rng)
-				cand := evaluate(w, x)
-				if cand.Feasible() {
-					arch.Add(cand)
-					w.s = cand
-					res.Accepted++
+				// Mirrors the worker's batched neighborhood step exactly
+				// (same draws, same acceptance order).
+				k := cfg.neighborhood()
+				if rem := cfg.EvalsPerWorker - w.spent; k > rem {
+					k = rem
+				}
+				xs := make([][]float64, k)
+				for j := range xs {
+					crit := criteria[w.rng.Intn(len(criteria))]
+					xs[j] = operators.PerturbBLX(w.s.X, t.X, crit.Params, cfg.Alpha, lo, hi, w.rng)
+				}
+				for _, cand := range evaluateAll(w, xs) {
+					if cand.Feasible() {
+						arch.Add(cand)
+						w.s = cand
+						res.Accepted++
+					}
 				}
 				if w.iter%cfg.ResetPeriod == 0 && w.spent < cfg.EvalsPerWorker {
 					if ns := sampleArchive(); ns != nil {

@@ -23,10 +23,34 @@
 // bit-identical to a from-scratch simulation (see manet/snapshot.go for
 // the determinism contract); WithWarmStart(false) forces the from-scratch
 // path, which the equivalence tests compare against.
+//
+// # Batched and committee-parallel evaluation
+//
+// Two engines sit on top of the committee:
+//
+//   - EvaluateBatch (the moo.BatchProblem implementation) evaluates a
+//     whole set of parameter vectors — an MLS neighborhood, a MOEA
+//     offspring generation — scenario-major: one snapshot-clone wave per
+//     committee scenario streams every candidate through that scenario.
+//     Waves run the throughput fast path (beacon-tape replay plus
+//     broadcast-quiescence early stop, see manet/tape.go) and fan out
+//     across up to WithBatchWorkers goroutines. Objectives, violations
+//     and Metrics are bit-identical to serial Evaluate; per-node frame
+//     accounting inside the simulations is not (the dead tail of each
+//     simulation is skipped).
+//   - WithScenarioWorkers(n) fans the committee of every single
+//     Evaluate/Simulate/SimulateProtocol call across goroutines through
+//     the reference path, reducing single-evaluation latency on idle
+//     cores.
+//
+// Every path — serial, committee-parallel, batched — accumulates the
+// committee average through the same ordered reduction (reduceCommittee),
+// so results are bit-identical across all of them for any worker count.
 package eval
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -79,18 +103,30 @@ type warmSlot struct {
 	done atomic.Bool
 }
 
+// tapeSlot lazily holds one scenario's beacon tape for the batch fast
+// path (nil when recording is unavailable for the configuration).
+type tapeSlot struct {
+	once sync.Once
+	tape *manet.BeaconTape
+}
+
 // Problem is the AEDB tuning problem for one network density. It is safe
-// for concurrent Evaluate calls; each call builds its simulations from the
-// frozen seeds (via the shared warm-start snapshots, or from scratch).
+// for concurrent Evaluate and EvaluateBatch calls; each call builds its
+// simulations from the frozen seeds (via the shared warm-start snapshots,
+// or from scratch).
 type Problem struct {
-	cfg       manet.Config
-	domain    aedb.Domain
-	committee int
-	scenarios []scenario
-	density   int
-	warmStart bool
-	snaps     []warmSlot
-	evals     atomic.Int64
+	cfg             manet.Config
+	domain          aedb.Domain
+	committee       int
+	scenarios       []scenario
+	density         int
+	warmStart       bool
+	scenarioWorkers int
+	batchWorkers    int
+	batchFastPath   bool
+	snaps           []warmSlot
+	tapes           []tapeSlot
+	evals           atomic.Int64
 }
 
 // Option customises a Problem.
@@ -122,6 +158,27 @@ func WithConfig(cfg manet.Config) Option { return func(p *Problem) { p.cfg = cfg
 // from t=0; the two paths produce bit-identical metrics.
 func WithWarmStart(enabled bool) Option { return func(p *Problem) { p.warmStart = enabled } }
 
+// WithScenarioWorkers fans the committee of every Evaluate, Simulate and
+// SimulateProtocol call across up to n goroutines (committee-parallel
+// evaluation). Per-scenario results are reduced in committee order, so
+// metrics are bit-identical to the serial path for any n. n <= 1 (the
+// default) keeps each evaluation on its calling goroutine, which is right
+// whenever the optimiser above already saturates the cores.
+func WithScenarioWorkers(n int) Option { return func(p *Problem) { p.scenarioWorkers = n } }
+
+// WithBatchWorkers caps the goroutines an EvaluateBatch call fans its
+// scenario waves across. 0 (the default) uses GOMAXPROCS; 1 keeps the
+// batch on the calling goroutine.
+func WithBatchWorkers(n int) Option { return func(p *Problem) { p.batchWorkers = n } }
+
+// WithBatchFastPath toggles EvaluateBatch's throughput engine (default
+// on): beacon-tape replay plus broadcast-quiescence early stop, both
+// bit-identical at the Metrics/objective level. Disabled, EvaluateBatch
+// evaluates every vector through the exact reference path Evaluate uses
+// (full-tail simulations, complete per-node accounting), which is the
+// comparison arm of the equivalence tests.
+func WithBatchFastPath(enabled bool) Option { return func(p *Problem) { p.batchFastPath = enabled } }
+
 // NewProblem builds the tuning problem for a density in devices/km^2
 // (100, 200 or 300 in the paper; other values scale by area). The seed
 // freezes the network committee.
@@ -134,11 +191,12 @@ func NewProblem(density int, seed uint64, opts ...Option) *Problem {
 		}
 	}
 	p := &Problem{
-		cfg:       manet.DefaultScenario(nodes),
-		domain:    aedb.DefaultDomain(),
-		committee: DefaultCommittee,
-		density:   density,
-		warmStart: true,
+		cfg:           manet.DefaultScenario(nodes),
+		domain:        aedb.DefaultDomain(),
+		committee:     DefaultCommittee,
+		density:       density,
+		warmStart:     true,
+		batchFastPath: true,
 	}
 	for _, o := range opts {
 		o(p)
@@ -157,6 +215,7 @@ func NewProblem(density int, seed uint64, opts ...Option) *Problem {
 		})
 	}
 	p.snaps = make([]warmSlot, len(p.scenarios))
+	p.tapes = make([]tapeSlot, len(p.scenarios))
 	return p
 }
 
@@ -202,23 +261,86 @@ func (p *Problem) Evaluate(x []float64) (f []float64, violation float64, aux any
 // raw metrics. It is the fitness function of Eq. 1 before negation.
 func (p *Problem) Simulate(params aedb.Params) Metrics {
 	p.evals.Add(1)
-	factory := aedb.New(params)
-	var sum Metrics
-	for i := range p.scenarios {
-		st, _ := p.runScenario(factory, i)
-		sum.EnergyDBmSum += st.TxPowerSumDBm
-		sum.Coverage += float64(st.Coverage())
-		sum.Forwardings += float64(st.Forwards)
-		sum.BroadcastTime += st.BroadcastTime()
-		sum.EnergyMJ += st.TxEnergyMJ
+	return p.runCommittee(aedb.New(params))
+}
+
+// scenarioTerm converts one scenario outcome into its term of the
+// committee average.
+func scenarioTerm(st *manet.BroadcastStats, net *manet.Network) Metrics {
+	return Metrics{
+		EnergyDBmSum:  st.TxPowerSumDBm,
+		Coverage:      float64(st.Coverage()),
+		Forwardings:   float64(st.Forwards),
+		BroadcastTime: st.BroadcastTime(),
+		EnergyMJ:      st.TxEnergyMJ,
+		Collisions:    float64(net.Collisions),
 	}
-	n := float64(len(p.scenarios))
+}
+
+// reduceCommittee averages per-scenario terms in committee order. It is
+// the single definition of the committee average's floating-point op
+// order: every evaluation path (serial, committee-parallel, batched)
+// funnels through it, which is what makes their results bit-identical.
+func reduceCommittee(terms []Metrics) Metrics {
+	var sum Metrics
+	for _, t := range terms {
+		sum.EnergyDBmSum += t.EnergyDBmSum
+		sum.Coverage += t.Coverage
+		sum.Forwardings += t.Forwardings
+		sum.BroadcastTime += t.BroadcastTime
+		sum.EnergyMJ += t.EnergyMJ
+		sum.Collisions += t.Collisions
+	}
+	n := float64(len(terms))
 	sum.EnergyDBmSum /= n
 	sum.Coverage /= n
 	sum.Forwardings /= n
 	sum.BroadcastTime /= n
 	sum.EnergyMJ /= n
+	sum.Collisions /= n
 	return sum
+}
+
+// runCommittee evaluates the factory on every committee scenario through
+// the reference path, fanning across scenario workers when configured.
+func (p *Problem) runCommittee(factory func(*manet.Node) manet.Protocol) Metrics {
+	terms := make([]Metrics, len(p.scenarios))
+	p.forEachScenario(p.scenarioWorkers, func(i int) {
+		st, net := p.runScenario(factory, i)
+		terms[i] = scenarioTerm(st, net)
+	})
+	return reduceCommittee(terms)
+}
+
+// forEachScenario runs fn(i) for every committee scenario index, across
+// up to workers goroutines (inline when workers <= 1).
+func (p *Problem) forEachScenario(workers int, fn func(i int)) {
+	n := len(p.scenarios)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // snapshot lazily builds (once, thread-safely) the warm-start snapshot of
@@ -275,24 +397,120 @@ func (p *Problem) runScenario(factory func(*manet.Node) manet.Protocol, i int) (
 // (used by examples comparing AEDB against flooding and distance-based
 // baselines) and returns the averaged metrics.
 func (p *Problem) SimulateProtocol(factory func(*manet.Node) manet.Protocol) Metrics {
-	var sum Metrics
-	for i := range p.scenarios {
-		st, net := p.runScenario(factory, i)
-		sum.EnergyDBmSum += st.TxPowerSumDBm
-		sum.Coverage += float64(st.Coverage())
-		sum.Forwardings += float64(st.Forwards)
-		sum.BroadcastTime += st.BroadcastTime()
-		sum.EnergyMJ += st.TxEnergyMJ
-		sum.Collisions += float64(net.Collisions)
+	return p.runCommittee(factory)
+}
+
+// EvaluateBatch implements moo.BatchProblem: it evaluates every parameter
+// vector of xs against the frozen committee and returns per-vector
+// objectives, violations and Metrics (as Aux) bit-identical to what
+// Evaluate returns for each vector — the equivalence tests hold both
+// paths to that.
+//
+// Execution is scenario-major: each committee scenario becomes one wave
+// that streams all candidates through that scenario's warm snapshot, so
+// the per-scenario setup (snapshot build, beacon-tape recording, cache
+// residency) is paid once per wave instead of once per candidate. Waves
+// fan out across WithBatchWorkers goroutines; the committee average is
+// reduced in committee order regardless of schedule.
+func (p *Problem) EvaluateBatch(xs [][]float64) []moo.BatchResult {
+	n := len(xs)
+	if n == 0 {
+		return nil
 	}
-	n := float64(len(p.scenarios))
-	sum.EnergyDBmSum /= n
-	sum.Coverage /= n
-	sum.Forwardings /= n
-	sum.BroadcastTime /= n
-	sum.EnergyMJ /= n
-	sum.Collisions /= n
-	return sum
+	p.evals.Add(int64(n))
+	factories := make([]func(*manet.Node) manet.Protocol, n)
+	for j, x := range xs {
+		factories[j] = aedb.New(aedb.FromVector(x))
+	}
+	s := len(p.scenarios)
+	terms := make([]Metrics, n*s) // terms[j*s+i]: candidate j, scenario i
+	p.forEachScenario(p.batchWorkerCount(), func(i int) { p.batchWave(factories, i, terms) })
+
+	out := make([]moo.BatchResult, n)
+	for j := range out {
+		m := reduceCommittee(terms[j*s : (j+1)*s])
+		viol := m.BroadcastTime - BroadcastTimeLimit
+		if viol < 0 {
+			viol = 0
+		}
+		out[j] = moo.BatchResult{
+			F:         []float64{m.EnergyDBmSum, -m.Coverage, m.Forwardings},
+			Violation: viol,
+			Aux:       m,
+		}
+	}
+	return out
+}
+
+// batchWorkerCount resolves the wave-level parallelism of one
+// EvaluateBatch call.
+func (p *Problem) batchWorkerCount() int {
+	w := p.batchWorkers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// batchWave streams every candidate of the batch through committee
+// scenario i — one snapshot-clone wave. On the fast path the wave records
+// (once, cached on the Problem) the scenario's beacon tape, instantiates
+// replay networks with beacon events stripped, and stops each simulation
+// at broadcast quiescence.
+func (p *Problem) batchWave(factories []func(*manet.Node) manet.Protocol, i int, terms []Metrics) {
+	s := len(p.scenarios)
+	sc := p.scenarios[i]
+	var snap *manet.Snapshot
+	var tape *manet.BeaconTape
+	if p.warmStart {
+		snap = p.snapshot(i)
+		if snap != nil && p.batchFastPath && p.cfg.FastBeacons {
+			tape = p.tapeFor(i, snap)
+		}
+	}
+	for j, factory := range factories {
+		var st *manet.BroadcastStats
+		var net *manet.Network
+		switch {
+		case tape != nil:
+			net, st = snap.InstantiateReplay(factory, sc.source, p.cfg.WarmupTime, tape)
+			net.RunToQuiescence()
+		case snap != nil:
+			net, st = snap.Instantiate(factory, sc.source, p.cfg.WarmupTime)
+			p.runBatchNet(net)
+		default:
+			var err error
+			net, err = manet.New(p.cfg, sc.seed, factory)
+			if err != nil {
+				panic(fmt.Sprintf("eval: scenario construction failed: %v", err))
+			}
+			st = net.StartBroadcast(sc.source, p.cfg.WarmupTime)
+			p.runBatchNet(net)
+		}
+		terms[j*s+i] = scenarioTerm(st, net)
+	}
+}
+
+func (p *Problem) runBatchNet(net *manet.Network) {
+	if p.batchFastPath {
+		net.RunToQuiescence()
+	} else {
+		net.Run()
+	}
+}
+
+// tapeFor lazily records (once, thread-safely) the beacon tape of
+// committee scenario i. A nil result sends the wave down the plain
+// snapshot path.
+func (p *Problem) tapeFor(i int, snap *manet.Snapshot) *manet.BeaconTape {
+	slot := &p.tapes[i]
+	slot.once.Do(func() {
+		slot.tape, _ = snap.RecordBeaconTape(p.cfg.EndTime)
+	})
+	return slot.tape
 }
 
 // MetricsOf extracts the raw metrics attached to a solution evaluated on a
@@ -301,3 +519,11 @@ func MetricsOf(s *moo.Solution) (Metrics, bool) {
 	m, ok := s.Aux.(Metrics)
 	return m, ok
 }
+
+// BatchResult is the per-vector outcome of EvaluateBatch; its Aux field
+// carries the Metrics. The alias keeps eval's batch API interchangeable
+// with the moo.BatchProblem vocabulary.
+type BatchResult = moo.BatchResult
+
+// Problem batches evaluations for any moo-level consumer.
+var _ moo.BatchProblem = (*Problem)(nil)

@@ -146,8 +146,8 @@ func BeaconFidelity(sc Scale, density int, params aedb.Params) (*BeaconFidelityR
 	slowCfg := fastCfg
 	slowCfg.FastBeacons = false
 
-	fastProblem := eval.NewProblem(density, sc.Seed, eval.WithCommittee(sc.Committee), eval.WithConfig(fastCfg))
-	slowProblem := eval.NewProblem(density, sc.Seed, eval.WithCommittee(sc.Committee), eval.WithConfig(slowCfg))
+	fastProblem := eval.NewProblem(density, sc.Seed, append(sc.EvalOptions(), eval.WithConfig(fastCfg))...)
+	slowProblem := eval.NewProblem(density, sc.Seed, append(sc.EvalOptions(), eval.WithConfig(slowCfg))...)
 
 	res := &BeaconFidelityResult{Density: density}
 	res.Fast = fastProblem.Simulate(params)

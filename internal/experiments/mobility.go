@@ -57,7 +57,7 @@ func MobilityAblation(sc Scale, density int, params aedb.Params) (*MobilityAblat
 		cfg := manet.DefaultScenario(nodes)
 		cfg.MakeMobility = m.make
 		problem := eval.NewProblem(density, sc.Seed,
-			eval.WithCommittee(sc.Committee), eval.WithConfig(cfg))
+			append(sc.EvalOptions(), eval.WithConfig(cfg))...)
 		res.Rows = append(res.Rows, MobilityRow{Model: m.name, Metrics: problem.Simulate(params)})
 	}
 	return res, nil

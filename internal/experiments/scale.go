@@ -40,6 +40,10 @@ type Scale struct {
 	CellDE cellde.Config
 	// SensitivityN is the Fast99 sample count per factor.
 	SensitivityN int
+	// ScenarioWorkers fans every evaluation's committee across up to this
+	// many goroutines (eval.WithScenarioWorkers); metrics are
+	// bit-identical for any value. 0 or 1 evaluates serially.
+	ScenarioWorkers int
 	// Seed is the base seed; run r of algorithm a uses
 	// Seed + 1000*r + a, and the network committee uses Seed directly.
 	Seed uint64
@@ -122,9 +126,19 @@ func ScaleByName(name string) (Scale, error) {
 	return Scale{}, fmt.Errorf("experiments: unknown scale %q (want paper, small or tiny)", name)
 }
 
+// EvalOptions returns the evaluation options every problem of this scale
+// is built with.
+func (s Scale) EvalOptions() []eval.Option {
+	opts := []eval.Option{eval.WithCommittee(s.Committee)}
+	if s.ScenarioWorkers > 1 {
+		opts = append(opts, eval.WithScenarioWorkers(s.ScenarioWorkers))
+	}
+	return opts
+}
+
 // Problem builds the frozen tuning problem for a density under this scale.
 func (s Scale) Problem(density int) *eval.Problem {
-	return eval.NewProblem(density, s.Seed, eval.WithCommittee(s.Committee))
+	return eval.NewProblem(density, s.Seed, s.EvalOptions()...)
 }
 
 // Logf is an optional progress sink; nil discards.

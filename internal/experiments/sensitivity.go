@@ -31,7 +31,7 @@ type SensitivityResult struct {
 // density, over the wide sensitivity domain of the paper.
 func Sensitivity(sc Scale, density int, log Logf) (*SensitivityResult, error) {
 	problem := eval.NewProblem(density, sc.Seed,
-		eval.WithCommittee(sc.Committee), eval.WithDomain(aedb.SensitivityDomain()))
+		append(sc.EvalOptions(), eval.WithDomain(aedb.SensitivityDomain()))...)
 	lo, hi := problem.Bounds()
 
 	model := func(x []float64) []float64 {

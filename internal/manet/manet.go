@@ -191,12 +191,16 @@ type NeighborEntry struct {
 // than beacons fire; frame-level beacons already computed the received
 // power for the collision model and store it directly. The deferred
 // conversion uses the identical expression the eager path would have
-// used, so read-time values are bit-identical.
+// used, so read-time values are bit-identical; once performed it is
+// memoised in rx (rxValid), and beacon-tape recording pre-performs it so
+// every replay simulation of the scenario shares one conversion per
+// beacon instead of one per read.
 type nbrRec struct {
 	id        int32
 	hasRx     bool
+	rxValid   bool
 	d2        float64 // squared distance at beacon time (when !hasRx)
-	rx        float64 // received power in dBm (when hasRx)
+	rx        float64 // received power in dBm (when hasRx or rxValid)
 	lastHeard float64
 }
 
@@ -272,6 +276,9 @@ func (n *Node) Position() geom.Vec2 { return n.net.positionOf(n) }
 // expired ones. The returned slice is scratch reused across calls;
 // callers must not retain or mutate it.
 func (n *Node) Neighbors() []NeighborEntry {
+	if n.net.tape != nil {
+		n.net.syncTape(n)
+	}
 	cfg := &n.net.Cfg
 	cutoff := n.net.Sim.Now() - cfg.NeighborTimeout
 	n.nbrOut = n.nbrOut[:0]
@@ -283,7 +290,10 @@ func (n *Node) Neighbors() []NeighborEntry {
 		}
 		rx := e.rx
 		if !e.hasRx {
-			rx = radio.RxPower(cfg.PathLoss, cfg.DefaultTxPowerDBm, math.Sqrt(e.d2))
+			if !e.rxValid {
+				rx = radio.RxPower(cfg.PathLoss, cfg.DefaultTxPowerDBm, math.Sqrt(e.d2))
+				e.rx, e.rxValid = rx, true
+			}
 			if rx < cfg.SensitivityDBm {
 				n.unindexNeighbor(e.id)
 				continue
@@ -356,6 +366,15 @@ type Network struct {
 	// recs is the reception pool; freeRecs its free list.
 	recs     []reception
 	freeRecs []int32
+	// dataInFlight counts pending data-frame events (scheduled frame
+	// starts plus active receptions carrying a message); see Quiescent.
+	dataInFlight int
+
+	// tape/tapeCur serve neighbor tables from a recorded beacon tape
+	// (replay mode, see tape.go); tapeRec collects one while recording.
+	tape    *BeaconTape
+	tapeCur []int32
+	tapeRec *BeaconTape
 
 	stats     map[int]*BroadcastStats
 	nextMsgID int
@@ -486,6 +505,9 @@ func (net *Network) computeMaxSpeed() {
 func (net *Network) dispatch(kind uint16, a, b int32) {
 	switch kind {
 	case evBeacon:
+		if net.tape != nil {
+			panic("manet: beacon event fired in tape-replay mode")
+		}
 		net.beacon(net.Nodes[a])
 	case evMobility:
 		n := net.Nodes[a]
@@ -582,7 +604,14 @@ func (net *Network) fastBeacon(n *Node) {
 			continue
 		}
 		// The dBm conversion is deferred to table reads (see nbrRec).
-		other.upsertNeighbor(nbrRec{id: int32(n.ID), d2: d2, lastHeard: now})
+		rec := nbrRec{id: int32(n.ID), d2: d2, lastHeard: now}
+		if net.tapeRec != nil {
+			// Pre-perform the conversion so every replay of the tape
+			// shares it instead of converting per read per candidate.
+			rec.rx, rec.rxValid = radio.RxPower(cfg.PathLoss, cfg.DefaultTxPowerDBm, math.Sqrt(d2)), true
+			net.tapeRec.perNode[id] = append(net.tapeRec.perNode[id], rec)
+		}
+		other.upsertNeighbor(rec)
 		other.RxFrames++
 	}
 }
@@ -705,6 +734,9 @@ func (net *Network) transmitFrame(n *Node, msg *Message, txPowerDBm float64, byt
 		}
 		ri := net.allocRec()
 		net.recs[ri] = reception{from: int32(n.ID), powerDBm: rx, start: now + prop, end: now + prop + duration, msg: msg}
+		if msg != nil {
+			net.dataInFlight++
+		}
 		net.Sim.AtTagged(now+prop, evFrameStart, int32(id), ri)
 	}
 }
@@ -745,6 +777,9 @@ func (net *Network) frameEnd(n *Node, ri int32) {
 	}
 	rec := net.recs[ri]
 	net.freeRec(ri)
+	if rec.msg != nil {
+		net.dataInFlight--
+	}
 	if rec.corrupted {
 		n.LostFrames++
 		if rec.msg != nil {
@@ -779,6 +814,32 @@ func (net *Network) frameEnd(n *Node, ri int32) {
 
 // Run executes the simulation until cfg.EndTime.
 func (net *Network) Run() { net.Sim.RunUntil(net.Cfg.EndTime) }
+
+// Quiescent reports whether the current broadcast activity is over: no
+// closure event (broadcast origination, protocol timer) is pending and no
+// data frame is in flight. From a quiescent state no protocol code can
+// ever run again — the remaining tagged events are beacons, mobility
+// changes and beacon frame boundaries, none of which invokes a protocol
+// or touches a stats collector — so every BroadcastStats field and the
+// Collisions counter are final.
+func (net *Network) Quiescent() bool {
+	return net.Sim.PendingClosures() == 0 && net.dataInFlight == 0
+}
+
+// RunToQuiescence executes the simulation until cfg.EndTime, stopping
+// early as soon as the network is Quiescent. The broadcast metrics it
+// leaves behind are bit-identical to a full Run — the skipped tail is
+// protocol-independent beacon and mobility churn — but per-node frame and
+// energy accounting stops where the simulation does. The batched
+// evaluation engine uses this to avoid simulating the dead tail of every
+// candidate configuration.
+func (net *Network) RunToQuiescence() {
+	for !net.Quiescent() {
+		if !net.Sim.StepUntil(net.Cfg.EndTime) {
+			return
+		}
+	}
+}
 
 // MaxRange returns the radio range at the default transmission power.
 func (net *Network) MaxRange() float64 { return net.maxRange }

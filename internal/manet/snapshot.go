@@ -138,8 +138,19 @@ func (s *Snapshot) PendingEvents() int { return len(s.events) }
 // Each call yields an independent simulation; concurrent calls on one
 // snapshot are safe.
 func (s *Snapshot) Instantiate(makeProto func(*Node) Protocol, source int, startAt float64) (*Network, *BroadcastStats) {
+	return s.instantiate(makeProto, source, startAt, nil)
+}
+
+// instantiate is the shared body of Instantiate and InstantiateReplay:
+// with a tape, the restored schedule is the tape's beacon-stripped one
+// and neighbor tables are served lazily from the tape (see tape.go).
+func (s *Snapshot) instantiate(makeProto func(*Node) Protocol, source int, startAt float64, tape *BeaconTape) (*Network, *BroadcastStats) {
+	events := s.events
+	if tape != nil {
+		events = tape.events
+	}
 	net := &Network{
-		Sim:        sim.Restore(s.now, s.events),
+		Sim:        sim.Restore(s.now, events),
 		Cfg:        s.cfg,
 		Rng:        s.netRng.Clone(),
 		stats:      make(map[int]*BroadcastStats),
@@ -151,6 +162,10 @@ func (s *Snapshot) Instantiate(makeProto func(*Node) Protocol, source int, start
 	net.Sim.SetHandler(net.dispatch)
 	net.maxRange = s.cfg.PathLoss.RangeFor(s.cfg.DefaultTxPowerDBm, s.cfg.SensitivityDBm)
 	net.initGrid()
+	if tape != nil {
+		net.tape = tape
+		net.tapeCur = make([]int32, len(s.nodes))
+	}
 	// Nodes, their RNG states and (when the network is small enough to
 	// afford them, see nbrIndexMaxNodes) ID-index tables come from block
 	// allocations instead of 3N small ones; only mobility clones and

@@ -1,0 +1,112 @@
+// Beacon tapes: sharing the protocol-independent beacon evolution of a
+// warmed scenario across many simulations.
+//
+// With fast beacons (the default medium), nothing a dissemination
+// protocol does can influence beaconing: fast beacons never contend with
+// data frames, draw no randomness, and read no protocol state. The
+// complete neighbor-table evolution of a scenario after the warm-up cut —
+// which beacon lands in which table, with what distance, at what time —
+// is therefore a pure function of the scenario seed, exactly like the
+// warm-up itself. A BeaconTape records that evolution once; every replay
+// simulation of the same scenario then strips the beacon events from its
+// schedule entirely and serves neighbor-table reads lazily from the tape.
+//
+// Equivalence argument. A node's neighbor table changes through exactly
+// two operations: beacon upserts (at beacon instants) and read-time
+// pruning (Node.Neighbors, the only read path). The tape replays the
+// identical upsert sequence — same rows, same order, same timestamps —
+// applied at read time instead of beacon time; since between a beacon
+// instant and the next read nothing observes the table, applying the
+// pending upserts immediately before the read yields bit-identical
+// contents (values and row order) at every read instant. Protocol
+// behaviour, and hence every broadcast metric, is unchanged. What replay
+// mode does give up is per-node beacon accounting on the sender side
+// (TxFrames/TxEnergyMJ no longer include beacon traffic), which no metric
+// reads; receiver-side RxFrames accounting is applied with the upserts.
+//
+// The tie-break assumption: when a beacon and a table read share an exact
+// instant, the beacon applies first. In the event loop the beacon wins
+// the FIFO tie because it was scheduled a full interval earlier, and the
+// tape's `lastHeard <= now` application rule reproduces that order.
+package manet
+
+import (
+	"fmt"
+
+	"aedbmls/internal/sim"
+)
+
+// BeaconTape is the recorded fast-beacon evolution of one warmed scenario
+// in (snapshot cut, until]. It is immutable after RecordBeaconTape
+// returns and safe to share across concurrent replay simulations.
+type BeaconTape struct {
+	until   float64
+	events  []sim.TaggedEvent // snapshot schedule with beacon events stripped
+	perNode [][]nbrRec        // upserts per receiver, in firing order
+}
+
+// Until returns the end of the recorded interval.
+func (t *BeaconTape) Until() float64 { return t.until }
+
+// Upserts returns the total number of recorded neighbor-table updates.
+func (t *BeaconTape) Upserts() int {
+	n := 0
+	for _, p := range t.perNode {
+		n += len(p)
+	}
+	return n
+}
+
+// RecordBeaconTape replays the scenario's beacon schedule from the
+// snapshot cut to until (normally cfg.EndTime) on a protocol-less clone
+// and records every neighbor-table update. It requires the fast-beacon
+// medium: frame-level beacons contend with data frames, so their
+// evolution is not protocol-independent and cannot be shared.
+func (s *Snapshot) RecordBeaconTape(until float64) (*BeaconTape, error) {
+	if !s.cfg.FastBeacons {
+		return nil, fmt.Errorf("manet: beacon tapes require the fast-beacon medium")
+	}
+	if until < s.now {
+		until = s.now
+	}
+	tape := &BeaconTape{until: until, perNode: make([][]nbrRec, len(s.nodes))}
+	for _, ev := range s.events {
+		if ev.Kind == evBeacon {
+			continue
+		}
+		tape.events = append(tape.events, ev)
+	}
+	rec, _ := s.instantiate(nil, 0, s.now, nil)
+	rec.tapeRec = tape
+	rec.Sim.RunUntil(until)
+	return tape, nil
+}
+
+// InstantiateReplay builds a network from the snapshot like Instantiate,
+// but strips every beacon event from the restored schedule and serves
+// neighbor tables from the tape (recorded from the same snapshot).
+// Broadcast metrics are bit-identical to an Instantiate+Run of the same
+// (protocol, source); per-node frame and energy accounting excludes
+// beacon transmissions. The simulation must not run past the tape's
+// recorded interval.
+func (s *Snapshot) InstantiateReplay(makeProto func(*Node) Protocol, source int, startAt float64, tape *BeaconTape) (*Network, *BroadcastStats) {
+	if tape == nil {
+		panic("manet: InstantiateReplay needs a tape")
+	}
+	return s.instantiate(makeProto, source, startAt, tape)
+}
+
+// syncTape applies every tape upsert for node n that is due at the
+// current instant, bringing the table to exactly the state the eager
+// beacon path would have produced before this read.
+func (net *Network) syncTape(n *Node) {
+	entries := net.tape.perNode[n.ID]
+	cur := net.tapeCur[n.ID]
+	now := net.Sim.Now()
+	for int(cur) < len(entries) && entries[cur].lastHeard <= now {
+		n.upsertNeighbor(entries[cur])
+		n.RxFrames++
+		cur++
+	}
+	net.tapeCur[n.ID] = cur
+}

@@ -1,0 +1,67 @@
+package moo
+
+import "testing"
+
+// fakeProblem is a trivial single-objective-per-component problem whose
+// batch path is instrumented, for routing tests.
+type fakeProblem struct {
+	batchCalls int
+	evalCalls  int
+}
+
+func (p *fakeProblem) Name() string                   { return "fake" }
+func (p *fakeProblem) Dim() int                       { return 2 }
+func (p *fakeProblem) NumObjectives() int             { return 2 }
+func (p *fakeProblem) Bounds() (lo, hi []float64)     { return []float64{0, 0}, []float64{1, 1} }
+func (p *fakeProblem) eval(x []float64) ([]float64, float64, any) {
+	return []float64{x[0], x[1]}, x[0] - 0.5, x[0] + x[1]
+}
+func (p *fakeProblem) Evaluate(x []float64) ([]float64, float64, any) {
+	p.evalCalls++
+	return p.eval(x)
+}
+func (p *fakeProblem) EvaluateBatch(xs [][]float64) []BatchResult {
+	p.batchCalls++
+	out := make([]BatchResult, len(xs))
+	for i, x := range xs {
+		f, v, aux := p.eval(x)
+		out[i] = BatchResult{F: f, Violation: v, Aux: aux}
+	}
+	return out
+}
+
+// serialOnly hides a problem's batch capability; algorithms and tests use
+// it to force the one-at-a-time path.
+type serialOnly struct{ Problem }
+
+func TestEvaluateAllRoutesThroughBatch(t *testing.T) {
+	p := &fakeProblem{}
+	xs := [][]float64{{0.1, 0.2}, {0.7, 0.4}, {0.9, 0.9}}
+	sols := EvaluateAll(p, xs)
+	if p.batchCalls != 1 || p.evalCalls != 0 {
+		t.Fatalf("batch=%d eval=%d, want batch routing", p.batchCalls, p.evalCalls)
+	}
+	ref := EvaluateAll(serialOnly{p}, xs)
+	if p.evalCalls != len(xs) {
+		t.Fatalf("serialOnly shim did not force Evaluate calls (got %d)", p.evalCalls)
+	}
+	for i := range sols {
+		if !EqualF(sols[i], ref[i]) || sols[i].Aux != ref[i].Aux {
+			t.Fatalf("batch result %d diverges from serial: %v vs %v", i, sols[i], ref[i])
+		}
+		if &sols[i].X[0] == &xs[i][0] {
+			t.Fatal("EvaluateAll retained the caller's vector")
+		}
+	}
+}
+
+func TestEvaluateAllSingleVectorStaysSerial(t *testing.T) {
+	p := &fakeProblem{}
+	EvaluateAll(p, [][]float64{{0.5, 0.5}})
+	if p.batchCalls != 0 || p.evalCalls != 1 {
+		t.Fatalf("single-vector call used the batch path (batch=%d eval=%d)", p.batchCalls, p.evalCalls)
+	}
+	if out := EvaluateAll(p, nil); len(out) != 0 {
+		t.Fatalf("empty input produced %d solutions", len(out))
+	}
+}

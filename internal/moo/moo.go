@@ -64,6 +64,49 @@ func NewSolution(p Problem, x []float64) *Solution {
 	return &Solution{X: append([]float64(nil), x...), F: f, Violation: viol, Aux: aux}
 }
 
+// BatchResult is one element of a batched evaluation, mirroring the
+// return values of Problem.Evaluate.
+type BatchResult struct {
+	F         []float64
+	Violation float64
+	Aux       any
+}
+
+// BatchProblem is an optional extension implemented by problems that can
+// evaluate many decision vectors together more efficiently than one at a
+// time (e.g. by amortising per-scenario setup across the batch, or by
+// fanning the batch across cores).
+//
+// The contract is equivalence: EvaluateBatch(xs)[i] must carry exactly
+// the objectives, violation and aux that Evaluate(xs[i]) would return, in
+// input order, and implementations must be safe for concurrent use like
+// Evaluate. Algorithms therefore may route any group of independent
+// evaluations through a batch without changing their results; EvaluateAll
+// is the standard helper that does so.
+type BatchProblem interface {
+	Problem
+	// EvaluateBatch evaluates every vector of xs and returns one result
+	// per vector, in order. It must not retain or modify the vectors.
+	EvaluateBatch(xs [][]float64) []BatchResult
+}
+
+// EvaluateAll evaluates every vector of xs on p and wraps the results,
+// routing through EvaluateBatch when p implements BatchProblem and
+// falling back to sequential NewSolution calls otherwise.
+func EvaluateAll(p Problem, xs [][]float64) []*Solution {
+	out := make([]*Solution, len(xs))
+	if bp, ok := p.(BatchProblem); ok && len(xs) > 1 {
+		for i, r := range bp.EvaluateBatch(xs) {
+			out[i] = &Solution{X: append([]float64(nil), xs[i]...), F: r.F, Violation: r.Violation, Aux: r.Aux}
+		}
+		return out
+	}
+	for i, x := range xs {
+		out[i] = NewSolution(p, x)
+	}
+	return out
+}
+
 // ParetoDominates reports strict Pareto dominance of objective vector a
 // over b (a no worse everywhere, strictly better somewhere).
 func ParetoDominates(a, b []float64) bool {

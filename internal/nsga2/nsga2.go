@@ -89,33 +89,38 @@ func Optimize(p moo.Problem, cfg Config) (*Result, error) {
 	start := time.Now()
 	var evals int64
 
-	evaluate := func(x []float64) *moo.Solution {
-		evals++
-		return moo.NewSolution(p, x)
+	// Whole generations are evaluated together: selection and variation
+	// draw no randomness from evaluation, so generating every offspring
+	// vector first and batching the evaluations (moo.BatchProblem, e.g.
+	// eval's committee waves) is bit-identical to evaluating one by one.
+	evaluateAll := func(xs [][]float64) []*moo.Solution {
+		evals += int64(len(xs))
+		return moo.EvaluateAll(p, xs)
 	}
 
-	pop := make([]*moo.Solution, cfg.PopSize)
-	for i := range pop {
-		pop[i] = evaluate(operators.RandomVector(lo, hi, r))
+	xs := make([][]float64, cfg.PopSize)
+	for i := range xs {
+		xs[i] = operators.RandomVector(lo, hi, r)
 	}
+	pop := evaluateAll(xs)
 	cd := crowdingByFront(pop)
 
 	gens := 0
 	for evals+int64(cfg.PopSize) <= int64(cfg.Evaluations) {
 		gens++
-		offspring := make([]*moo.Solution, 0, cfg.PopSize)
-		for len(offspring) < cfg.PopSize {
+		xs = xs[:0]
+		for len(xs) < cfg.PopSize {
 			p1 := operators.TournamentCD(pop, cd, r)
 			p2 := operators.TournamentCD(pop, cd, r)
 			c1, c2 := operators.SBX(p1.X, p2.X, cfg.Pc, cfg.EtaC, lo, hi, r)
 			operators.PolynomialMutation(c1, pm, cfg.EtaM, lo, hi, r)
 			operators.PolynomialMutation(c2, pm, cfg.EtaM, lo, hi, r)
-			offspring = append(offspring, evaluate(c1))
-			if len(offspring) < cfg.PopSize {
-				offspring = append(offspring, evaluate(c2))
+			xs = append(xs, c1)
+			if len(xs) < cfg.PopSize {
+				xs = append(xs, c2)
 			}
 		}
-		pop = environmentalSelection(append(pop, offspring...), cfg.PopSize)
+		pop = environmentalSelection(append(pop, evaluateAll(xs)...), cfg.PopSize)
 		cd = crowdingByFront(pop)
 	}
 

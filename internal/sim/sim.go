@@ -28,7 +28,9 @@ import "sort"
 type Event struct {
 	time      float64
 	fn        func()
+	sim       *Simulator
 	cancelled bool
+	popped    bool
 }
 
 // Time returns the simulation time at which the event fires (or would have
@@ -36,8 +38,17 @@ type Event struct {
 func (e *Event) Time() float64 { return e.time }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Event) Cancel() { e.cancelled = true }
+// already-cancelled event is a no-op. A cancelled closure immediately
+// stops counting towards PendingClosures: it can never run code, so
+// quiescence detection may ignore it even though its heap slot drains
+// only when its firing time passes.
+func (e *Event) Cancel() {
+	if e.cancelled || e.popped {
+		return
+	}
+	e.cancelled = true
+	e.sim.closures--
+}
 
 // Cancelled reports whether Cancel was called.
 func (e *Event) Cancelled() bool { return e.cancelled }
@@ -79,6 +90,7 @@ type Simulator struct {
 	stopped   bool
 	fired     uint64
 	frontUsed bool
+	closures  int
 	handler   func(kind uint16, a, b int32)
 }
 
@@ -119,6 +131,14 @@ func (s *Simulator) Fired() uint64 { return s.fired }
 // cancelled events that have not been drained yet.
 func (s *Simulator) Pending() int { return len(s.heap) }
 
+// PendingClosures returns the number of live (not cancelled, not yet
+// fired) closure events in the event list. Tagged events never count.
+//
+// The quiescence rule of the MANET layer builds on this: when no closure
+// is pending (and no data frame is in flight) the remaining tagged events
+// cannot run protocol code, so broadcast metrics are final.
+func (s *Simulator) PendingClosures() int { return s.closures }
+
 // push inserts e and restores the heap invariant (sift-up).
 func (s *Simulator) push(e entry) {
 	s.heap = append(s.heap, e)
@@ -137,6 +157,12 @@ func (s *Simulator) push(e entry) {
 func (s *Simulator) pop() entry {
 	h := s.heap
 	top := h[0]
+	if top.ev != nil {
+		if !top.ev.cancelled {
+			s.closures--
+		}
+		top.ev.popped = true
+	}
 	n := len(h) - 1
 	h[0] = h[n]
 	h[n] = entry{} // release any *Event reference
@@ -177,9 +203,10 @@ func (s *Simulator) At(t float64, fn func()) *Event {
 	if t < s.now {
 		t = s.now
 	}
-	e := &Event{time: t, fn: fn}
+	e := &Event{time: t, fn: fn, sim: s}
 	s.push(entry{time: t, seq: s.seq, ev: e})
 	s.seq++
+	s.closures++
 	return e
 }
 
@@ -199,8 +226,9 @@ func (s *Simulator) AtFront(t float64, fn func()) *Event {
 	if t < s.now {
 		t = s.now
 	}
-	e := &Event{time: t, fn: fn}
+	e := &Event{time: t, fn: fn, sim: s}
 	s.push(entry{time: t, seq: 0, ev: e})
+	s.closures++
 	return e
 }
 
@@ -278,6 +306,30 @@ func (s *Simulator) RunUntil(until float64) {
 	if until >= 0 && s.now < until {
 		s.now = until
 	}
+}
+
+// StepUntil executes the single earliest pending event whose time is at
+// most until and reports whether one was executed. A popped cancelled
+// closure counts as an executed step (its slot drains, nothing runs).
+// Unlike RunUntil, the clock is never advanced past the last executed
+// event, so callers interleaving StepUntil with state inspection observe
+// exactly the event-loop schedule.
+func (s *Simulator) StepUntil(until float64) bool {
+	if len(s.heap) == 0 || (until >= 0 && s.heap[0].time > until) {
+		return false
+	}
+	next := s.pop()
+	if next.ev != nil && next.ev.cancelled {
+		return true
+	}
+	s.now = next.time
+	s.fired++
+	if next.ev != nil {
+		next.ev.fn()
+	} else {
+		s.handler(next.kind, next.a, next.b)
+	}
+	return true
 }
 
 // RunBefore executes every event with time strictly less than cut and

@@ -1,0 +1,120 @@
+package sim
+
+import "testing"
+
+func TestPendingClosuresCounting(t *testing.T) {
+	s := New()
+	if s.PendingClosures() != 0 {
+		t.Fatal("fresh simulator reports pending closures")
+	}
+	s.Schedule(1, func() {})
+	s.AtTagged(2, 1, 0, 0)
+	ev := s.At(3, func() {})
+	if got := s.PendingClosures(); got != 2 {
+		t.Fatalf("PendingClosures = %d, want 2 (tagged events must not count)", got)
+	}
+	ev.Cancel()
+	if got := s.PendingClosures(); got != 1 {
+		t.Fatalf("PendingClosures = %d after Cancel, want 1 (cancelled closures stop counting)", got)
+	}
+	ev.Cancel() // double cancel must not decrement twice
+	if got := s.PendingClosures(); got != 1 {
+		t.Fatalf("PendingClosures = %d after double Cancel, want 1", got)
+	}
+	s.SetHandler(func(uint16, int32, int32) {})
+	s.RunUntil(2.5)
+	if got := s.PendingClosures(); got != 0 {
+		t.Fatalf("PendingClosures = %d after running to 2.5, want 0 (live closure fired, cancelled one is dead)", got)
+	}
+	s.Run()
+	if got := s.PendingClosures(); got != 0 {
+		t.Fatalf("PendingClosures = %d after draining, want 0", got)
+	}
+}
+
+func TestPendingClosuresAtFront(t *testing.T) {
+	s := New()
+	s.AtFront(1, func() {})
+	if got := s.PendingClosures(); got != 1 {
+		t.Fatalf("PendingClosures = %d after AtFront, want 1", got)
+	}
+	s.Run()
+	if got := s.PendingClosures(); got != 0 {
+		t.Fatalf("PendingClosures = %d after Run, want 0", got)
+	}
+}
+
+func TestStepUntil(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(2, func() { order = append(order, 2) })
+	s.Schedule(4, func() { order = append(order, 4) })
+
+	if !s.StepUntil(3) {
+		t.Fatal("first step refused")
+	}
+	if s.Now() != 1 || len(order) != 1 {
+		t.Fatalf("after one step: now=%v order=%v", s.Now(), order)
+	}
+	if !s.StepUntil(3) {
+		t.Fatal("second step refused")
+	}
+	if s.StepUntil(3) {
+		t.Fatal("stepped past the time limit")
+	}
+	if s.Now() != 2 {
+		t.Fatalf("clock advanced past last executed event: %v", s.Now())
+	}
+	if !s.StepUntil(10) || len(order) != 3 {
+		t.Fatalf("final step failed: order=%v", order)
+	}
+	if s.StepUntil(10) {
+		t.Fatal("stepped on an empty event list")
+	}
+}
+
+func TestStepUntilDrainsCancelled(t *testing.T) {
+	s := New()
+	ev := s.Schedule(1, func() { t.Fatal("cancelled closure fired") })
+	ev.Cancel()
+	if s.PendingClosures() != 0 {
+		t.Fatal("cancelled closure still counted as pending")
+	}
+	if !s.StepUntil(5) {
+		t.Fatal("cancelled closure did not count as a drained step")
+	}
+	if s.Now() != 0 {
+		t.Fatalf("draining a cancelled closure moved the clock to %v", s.Now())
+	}
+}
+
+// TestStepUntilMatchesRunUntil pins the equivalence the quiescence loop
+// relies on: stepping one event at a time executes the exact schedule
+// RunUntil would.
+func TestStepUntilMatchesRunUntil(t *testing.T) {
+	build := func() (*Simulator, *[]float64) {
+		s := New()
+		var log []float64
+		s.SetHandler(func(kind uint16, a, b int32) { log = append(log, s.Now()) })
+		for i := 0; i < 5; i++ {
+			tt := float64(i%3) + 0.5
+			s.AtTagged(tt, 1, int32(i), 0)
+			s.At(tt, func() { log = append(log, -s.Now()) })
+		}
+		return s, &log
+	}
+	a, alog := build()
+	a.RunUntil(10)
+	b, blog := build()
+	for b.StepUntil(10) {
+	}
+	if len(*alog) != len(*blog) {
+		t.Fatalf("schedules diverge: %v vs %v", *alog, *blog)
+	}
+	for i := range *alog {
+		if (*alog)[i] != (*blog)[i] {
+			t.Fatalf("schedules diverge at %d: %v vs %v", i, *alog, *blog)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Package smoketest runs a command's main function inside a test: argv is
+// substituted, stdout/stderr are silenced so `go test ./...` output stays
+// readable, and panics become test failures. It exists so the cmd/ and
+// examples/ packages can exercise their real entry points instead of
+// being compile-only blind spots.
+//
+// An os.Exit path inside main (log.Fatal) aborts the whole test binary;
+// the test run reports that as a package failure, which is exactly what a
+// smoke test should do.
+package smoketest
+
+import (
+	"os"
+	"testing"
+)
+
+// Run executes mainFn with os.Args set to argv and the standard streams
+// redirected to the null device, restoring everything afterwards. Call it
+// at most once per test binary: main functions register their flags on
+// the global FlagSet, and a second registration panics.
+func Run(t *testing.T, argv []string, mainFn func()) {
+	t.Helper()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldArgs, oldStdout, oldStderr := os.Args, os.Stdout, os.Stderr
+	os.Args, os.Stdout, os.Stderr = argv, devnull, devnull
+	defer func() {
+		os.Args, os.Stdout, os.Stderr = oldArgs, oldStdout, oldStderr
+		devnull.Close()
+		if r := recover(); r != nil {
+			t.Fatalf("main panicked: %v", r)
+		}
+	}()
+	mainFn()
+}

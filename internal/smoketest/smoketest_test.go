@@ -1,0 +1,22 @@
+package smoketest
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+func TestRunSubstitutesArgsAndRestores(t *testing.T) {
+	oldArgs, oldStdout, oldStderr := os.Args, os.Stdout, os.Stderr
+	var seen []string
+	Run(t, []string{"prog", "-x", "1"}, func() {
+		seen = append([]string(nil), os.Args...)
+		fmt.Println("silenced")
+	})
+	if len(seen) != 3 || seen[0] != "prog" || seen[2] != "1" {
+		t.Fatalf("argv inside main = %v", seen)
+	}
+	if len(os.Args) != len(oldArgs) || os.Stdout != oldStdout || os.Stderr != oldStderr {
+		t.Fatal("Run did not restore process state")
+	}
+}

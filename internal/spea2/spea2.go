@@ -92,15 +92,19 @@ func Optimize(p moo.Problem, cfg Config) (*Result, error) {
 	start := time.Now()
 	var evals int64
 
-	evaluate := func(x []float64) *moo.Solution {
-		evals++
-		return moo.NewSolution(p, x)
+	// Whole generations are evaluated together; see the equivalent note
+	// in nsga2.Optimize — batching is bit-identical because variation
+	// never draws randomness from evaluation.
+	evaluateAll := func(xs [][]float64) []*moo.Solution {
+		evals += int64(len(xs))
+		return moo.EvaluateAll(p, xs)
 	}
 
-	pop := make([]*moo.Solution, cfg.PopSize)
-	for i := range pop {
-		pop[i] = evaluate(operators.RandomVector(lo, hi, r))
+	xs := make([][]float64, cfg.PopSize)
+	for i := range xs {
+		xs[i] = operators.RandomVector(lo, hi, r)
 	}
+	pop := evaluateAll(xs)
 	var arch []*moo.Solution
 
 	gens := 0
@@ -115,19 +119,19 @@ func Optimize(p moo.Problem, cfg Config) (*Result, error) {
 		gens++
 		// Mating selection on the archive by binary fitness tournament.
 		archFitness := fitnessOf(arch)
-		next := make([]*moo.Solution, 0, cfg.PopSize)
-		for len(next) < cfg.PopSize {
+		xs = xs[:0]
+		for len(xs) < cfg.PopSize {
 			p1 := tournament(arch, archFitness, r)
 			p2 := tournament(arch, archFitness, r)
 			c1, c2 := operators.SBX(p1.X, p2.X, cfg.Pc, cfg.EtaC, lo, hi, r)
 			operators.PolynomialMutation(c1, pm, cfg.EtaM, lo, hi, r)
 			operators.PolynomialMutation(c2, pm, cfg.EtaM, lo, hi, r)
-			next = append(next, evaluate(c1))
-			if len(next) < cfg.PopSize {
-				next = append(next, evaluate(c2))
+			xs = append(xs, c1)
+			if len(xs) < cfg.PopSize {
+				xs = append(xs, c2)
 			}
 		}
-		pop = next
+		pop = evaluateAll(xs)
 	}
 
 	res := &Result{

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # bench.sh — capture the evaluation-engine perf trajectory.
 #
-# Runs BenchmarkEvaluation and BenchmarkTableII_Simulation with -benchmem
-# and writes a JSON summary (ns/op, B/op, allocs/op per density) so future
-# PRs can compare against the recorded baseline.
+# Runs the evaluation-engine benchmarks (serial, committee-parallel,
+# batched, plus the from-scratch simulation) with -benchmem and writes a
+# JSON summary (ns/op, B/op, allocs/op per density) so future PRs can
+# compare against the recorded baseline. The batch speedup of record is
+# BenchmarkEvaluateSerial64 ns/op / BenchmarkEvaluateBatch ns/op.
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
 set -euo pipefail
@@ -12,7 +14,7 @@ cd "$(dirname "$0")/.."
 OUT="${1:-BENCH.json}"
 BENCHTIME="${2:-20x}"
 
-RAW="$(go test -run '^$' -bench 'BenchmarkEvaluation|BenchmarkTableII_Simulation' \
+RAW="$(go test -run '^$' -bench 'BenchmarkEvaluation|BenchmarkEvaluateBatch|BenchmarkEvaluateSerial64|BenchmarkTableII_Simulation' \
   -benchmem -benchtime="$BENCHTIME" . 2>&1)"
 echo "$RAW"
 
