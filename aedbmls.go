@@ -41,6 +41,14 @@ type Config struct {
 	// BatchWorkers caps the goroutines of one batched evaluation wave set
 	// (0 = GOMAXPROCS).
 	BatchWorkers int
+	// ReferencePath opts every evaluation out of the default fast engine
+	// (beacon-tape replay, broadcast-quiescence early stop, buffer-reuse
+	// arenas, shared masked warm-ups) and into the full-tail reference
+	// simulations. Metrics are bit-identical either way — the golden
+	// corpus and equivalence tests of internal/eval hold the engines to
+	// that — so this knob trades speed for complete per-node accounting
+	// and is primarily the comparison arm of soak runs.
+	ReferencePath bool
 	// Deterministic selects the bit-reproducible round-robin execution
 	// instead of the threaded one.
 	Deterministic bool
@@ -108,6 +116,9 @@ func Tune(cfg Config) (*Result, error) {
 	}
 	if cfg.BatchWorkers > 0 {
 		opts = append(opts, eval.WithBatchWorkers(cfg.BatchWorkers))
+	}
+	if cfg.ReferencePath {
+		opts = append(opts, eval.WithReferencePath(true))
 	}
 	problem := eval.NewProblem(cfg.Density, cfg.Seed, opts...)
 

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	aedb-experiments [-scale tiny|small|paper] [-out dir] [-scenario-workers 1]
+//	aedb-experiments [-scale tiny|small|paper] [-out dir] [-scenario-workers 1] [-reference-path]
 //	                 [-only fig2,tab1,fig6,fig7,tab4,timing,config,ablation,memetic,beacons,mobility,spea2]
 //
 // The default small scale keeps all structural ratios of the paper
@@ -32,6 +32,7 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override the base seed (0 keeps the scale default)")
 	outDir := flag.String("out", "", "directory for machine-readable bundles (JSON) and fronts (CSV); empty disables")
 	scenarioWorkers := flag.Int("scenario-workers", 1, "goroutines per evaluation committee (results are bit-identical for any value)")
+	referencePath := flag.Bool("reference-path", false, "evaluate through the full-tail reference engine (bit-identical metrics, slower)")
 	flag.Parse()
 
 	sc, err := experiments.ScaleByName(*scaleName)
@@ -42,6 +43,7 @@ func main() {
 		sc.Seed = *seed
 	}
 	sc.ScenarioWorkers = *scenarioWorkers
+	sc.ReferencePath = *referencePath
 	want := map[string]bool{}
 	if *only != "" {
 		for _, k := range strings.Split(*only, ",") {

@@ -48,34 +48,50 @@
 // rather than an O(N) node scan, which is what lets scenarios scale past
 // 1,000 nodes.
 //
-// # Batched and committee-parallel evaluation
+// # The evaluation engine: fast by default, reference on demand
 //
-// On top of the warm-start substrate sit two throughput engines (PR 2):
+// Every evaluation path — serial eval.Problem.Evaluate, the
+// committee-parallel variant, and the batched EvaluateBatch — runs one
+// throughput engine by default (promoted from the batch-only fast path
+// of PR 2 after its soak period):
 //
-//   - eval.(*Problem).EvaluateBatch evaluates a whole set of parameter
-//     vectors scenario-major — one snapshot-clone wave per committee
-//     scenario streams every candidate — with the beacon evolution of
-//     each scenario recorded once into a manet.BeaconTape and shared by
-//     all candidates, and each simulation stopped at broadcast
-//     quiescence (no pending protocol timer, no data frame in flight)
-//     instead of running its protocol-independent tail. Objectives and
-//     Metrics are bit-identical to serial Evaluate; the 64-candidate
-//     neighborhood benchmark runs 4.05x faster than 64 serial calls at
-//     density 300 on one core (BENCH_PR2.json). Every optimiser detects
-//     the capability
-//     through moo.BatchProblem: the MLS batched neighborhood step
-//     (core.Config.NeighborhoodSize, aedbmls.Config.NeighborhoodSize),
-//     core.ImproveBatch, and whole-generation evaluation in NSGA-II,
-//     SPEA2 and CellDE's initial grid.
-//   - eval.WithScenarioWorkers(n) fans the ten-network committee of a
-//     single Evaluate across goroutines (aedbmls.Config.ScenarioWorkers,
-//     aedb-mls/aedb-experiments -scenario-workers), cutting evaluation
-//     latency when optimiser-level parallelism leaves cores idle.
+//   - the beacon evolution of each committee scenario is recorded once
+//     into a manet.BeaconTape and shared by every simulation of that
+//     scenario, which then strips beacon events from its schedule
+//     entirely;
+//   - each simulation stops at broadcast quiescence (no pending protocol
+//     timer, no data frame in flight) instead of running its
+//     protocol-independent tail;
+//   - instantiation buffers — node and RNG blocks, the O(N^2) neighbor
+//     index, the event heap, the spatial grid, neighbor tables — are
+//     recycled through manet.Arena instead of being reallocated per
+//     simulation;
+//   - warm-up snapshots are shared across densities: the committee is
+//     frozen density-independently, one largest-committee warm-up is
+//     built per scenario seed and masked down per density
+//     (manet.Snapshot.Mask).
 //
-// Both engines reduce the committee average in committee order, so their
-// results are bit-identical to the serial reference path for any worker
-// count — pinned by equivalence tests from internal/eval up to
-// aedbmls.Tune, and by a -race CI job.
+// eval.WithReferencePath(true) (aedbmls.Config.ReferencePath,
+// experiments.Scale.ReferencePath, the CLIs' -reference-path flag) opts
+// into the full-tail reference engine with complete per-node accounting.
+// The two engines are bit-identical on every objective, violation and
+// Metrics field — pinned by the golden-metrics corpus
+// (internal/eval/testdata/golden_metrics.json), equivalence tables,
+// property and fuzz tests (manet.FuzzSnapshotRoundTrip), and e2e Tune
+// determinism tests, plus a -race CI job.
+//
+// EvaluateBatch additionally evaluates whole candidate sets
+// scenario-major — one arena-backed wave per committee scenario streams
+// every candidate — and every optimiser detects the capability through
+// moo.BatchProblem: the MLS batched neighborhood step
+// (core.Config.NeighborhoodSize, aedbmls.Config.NeighborhoodSize),
+// core.ImproveBatch, and whole-generation evaluation in NSGA-II, SPEA2
+// and CellDE's initial grid. eval.WithScenarioWorkers(n) fans the
+// ten-network committee of a single Evaluate across goroutines
+// (aedbmls.Config.ScenarioWorkers, -scenario-workers), cutting
+// evaluation latency when optimiser-level parallelism leaves cores idle.
+// All paths reduce the committee average in committee order, so results
+// are bit-identical for any worker count.
 //
 // See README.md for a quickstart and DESIGN.md for the full system
 // inventory and per-experiment index.

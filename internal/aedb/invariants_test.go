@@ -4,7 +4,9 @@ import (
 	"math"
 	"testing"
 
+	"aedbmls/internal/geom"
 	"aedbmls/internal/manet"
+	"aedbmls/internal/mobility"
 	"aedbmls/internal/radio"
 	"aedbmls/internal/rng"
 )
@@ -138,6 +140,57 @@ func TestForwardingMonotoneInBorderThreshold(t *testing.T) {
 	}
 	if wide < narrow {
 		t.Fatalf("wider forwarding area reduced forwards: %v -> %v", narrow, wide)
+	}
+}
+
+// TestEnergyMonotoneInPowerBounds pins the power-adaptation relation on a
+// controlled static topology: raising both power-bound genes together —
+// the border threshold (which bounds who may forward and which beacon the
+// dense regime targets) and the mobility margin (added to every adapted
+// power) — with all other genes fixed must strictly raise the energy
+// objective, as long as no adapted power hits the radio clamp.
+//
+// Topology: source(0,0) — relay(100,0) — leaf(200,0), all static. Only
+// the relay adapts its power (the leaf's table offers no non-heard
+// neighbor, so it falls back to the constant default power); the ladder
+// keeps the relay a forwarding candidate at every rung, so energy is
+// default + (adapted + margin) + default and must rise with each rung.
+func TestEnergyMonotoneInPowerBounds(t *testing.T) {
+	positions := []geom.Vec2{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 200, Y: 0}}
+	run := func(borderDBm, marginDBm float64) float64 {
+		cfg := manet.DefaultScenario(len(positions))
+		cfg.WarmupTime = 3
+		cfg.EndTime = 8
+		cfg.MakeMobility = func(id int, _ *rng.Rand) mobility.Model {
+			return &mobility.Static{P: positions[id]}
+		}
+		params := Params{
+			MinDelay: 0.1, MaxDelay: 0.1,
+			BorderThresholdDBm: borderDBm, MarginDBm: marginDBm,
+			NeighborsThreshold: 50,
+		}
+		net, err := manet.New(cfg, 1, New(params))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := net.StartBroadcast(0, cfg.WarmupTime)
+		net.Run()
+		if st.Forwards != 2 {
+			t.Fatalf("border %v margin %v: %d forwards, topology drifted from the 2-relay chain",
+				borderDBm, marginDBm, st.Forwards)
+		}
+		return st.TxPowerSumDBm
+	}
+	prev := math.Inf(-1)
+	for i := 0; i < 5; i++ {
+		border := -90 + float64(i) // rises toward the domain ceiling
+		margin := 0.2 + 0.4*float64(i)
+		energy := run(border, margin)
+		if energy <= prev {
+			t.Fatalf("rung %d (border %v, margin %v): energy %v not strictly above %v",
+				i, border, margin, energy, prev)
+		}
+		prev = energy
 	}
 }
 

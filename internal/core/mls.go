@@ -93,7 +93,11 @@ type Config struct {
 	// problem supports it. All candidates of an iteration perturb the same
 	// current solution; every feasible one is offered to the archive and
 	// the last feasible one becomes the worker's new current solution.
-	// 0 or 1 reproduces the paper's single-candidate step exactly.
+	// 0 or 1 reproduces the paper's single-candidate step exactly (and,
+	// since the fast evaluation engine became eval's serial default,
+	// single-candidate steps pay the same per-evaluation cost as batched
+	// ones — batching now buys wave-level amortisation, not a different
+	// engine).
 	NeighborhoodSize int
 	// Seed drives all randomness.
 	Seed uint64

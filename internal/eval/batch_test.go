@@ -78,11 +78,14 @@ func TestEvaluateBatchPathVariants(t *testing.T) {
 	xs := neighborhood(5, 9)
 	ref := NewProblem(100, 11, WithCommittee(3))
 	for name, opts := range map[string][]Option{
-		"reference-path": {WithBatchFastPath(false)},
-		"serial-waves":   {WithBatchWorkers(1)},
-		"parallel-waves": {WithBatchWorkers(8)},
-		"cold":           {WithWarmStart(false)},
-		"cold-reference": {WithWarmStart(false), WithBatchFastPath(false)},
+		"reference-path":  {WithReferencePath(true)},
+		"serial-waves":    {WithBatchWorkers(1)},
+		"parallel-waves":  {WithBatchWorkers(8)},
+		"cold":            {WithWarmStart(false)},
+		"cold-reference":  {WithWarmStart(false), WithReferencePath(true)},
+		"no-buffer-reuse": {WithBufferReuse(false)},
+		"no-sharing":      {WithSharedWarmups(false)},
+		"no-sharing-ref":  {WithSharedWarmups(false), WithReferencePath(true)},
 	} {
 		p := NewProblem(100, 11, append([]Option{WithCommittee(3)}, opts...)...)
 		assertBatchMatchesSerial(t, name, p, ref, xs)
@@ -164,6 +167,59 @@ func TestEvaluateAllUsesEvalBatch(t *testing.T) {
 		if _, ok := MetricsOf(sols[j]); !ok {
 			t.Fatalf("solution %d lost its Metrics aux", j)
 		}
+	}
+}
+
+// TestWaveArenaConcurrentStress is the concurrency gate of the wave
+// arena: one shared Problem with buffer reuse ON (the default) is hit by
+// concurrent Evaluate and EvaluateBatch callers — so arenas circulate
+// through the pool across goroutines while snapshot, tape and masked
+// warm-up builds race on first use — and every result must equal the
+// serial reference engine's. Run under -race this doubles as the data-race
+// detector for the arena recycling.
+func TestWaveArenaConcurrentStress(t *testing.T) {
+	xs := neighborhood(5, 61)
+	ref := NewProblem(100, 53, WithCommittee(3), WithReferencePath(true))
+	want := make([]Metrics, len(xs))
+	for j, x := range xs {
+		_, _, aux := ref.Evaluate(x)
+		want[j] = aux.(Metrics)
+	}
+
+	p := NewProblem(100, 53, WithCommittee(3), WithBatchWorkers(4), WithScenarioWorkers(2))
+	if !p.bufferReuse {
+		t.Fatal("buffer reuse must default on — this stress test covers the wave arena")
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 3; iter++ {
+				if w%2 == 0 {
+					for j, r := range p.EvaluateBatch(xs) {
+						if r.Aux.(Metrics) != want[j] {
+							errs <- "arena EvaluateBatch diverged from the reference engine"
+							return
+						}
+					}
+				} else {
+					for j, x := range xs {
+						_, _, aux := p.Evaluate(x)
+						if aux.(Metrics) != want[j] {
+							errs <- "arena Evaluate diverged from the reference engine"
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
 	}
 }
 

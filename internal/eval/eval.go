@@ -24,39 +24,66 @@
 // the determinism contract); WithWarmStart(false) forces the from-scratch
 // path, which the equivalence tests compare against.
 //
-// # Batched and committee-parallel evaluation
+// # The default fast path, and the reference path
 //
-// Two engines sit on top of the committee:
+// Every evaluation path — serial Evaluate, committee-parallel Evaluate,
+// EvaluateBatch — defaults to the throughput engine: beacon-tape replay
+// (the scenario's protocol-independent beacon evolution is recorded once
+// and served lazily to every simulation, see manet/tape.go) plus
+// broadcast-quiescence early stop (each simulation ends the moment the
+// last live forwarding decision is resolved, see manet.RunToQuiescence),
+// with instantiation buffers recycled through per-goroutine arenas
+// (manet.Arena). Objectives, violations and Metrics are bit-identical to
+// the reference engine; per-node frame accounting inside the simulations
+// is not (the dead tail of each simulation is skipped and beacon traffic
+// is replayed, not re-simulated).
+//
+// WithReferencePath(true) opts a Problem out: every simulation then runs
+// the full-tail reference engine with complete per-node accounting. The
+// golden-metrics corpus and the equivalence tables hold the two engines
+// bit-identical at the Metrics level.
+//
+// # Cross-density warm-up sharing
+//
+// The committee scenarios are frozen from the problem seed alone — not
+// the density — so the same scenario seed instantiates the 25-, 50- and
+// 75-node committees of densities 100/200/300 as nested prefixes of one
+// node population. The warm-up snapshot of each scenario is therefore
+// built once at the largest paper committee size and masked down
+// (manet.Snapshot.Mask) for smaller densities, through a process-wide
+// cache shared by every Problem with a shareable (default-shaped)
+// configuration. WithSharedWarmups(false) opts out; masked and directly
+// built snapshots are bit-identical on every metric.
+//
+// # Batched and committee-parallel evaluation
 //
 //   - EvaluateBatch (the moo.BatchProblem implementation) evaluates a
 //     whole set of parameter vectors — an MLS neighborhood, a MOEA
 //     offspring generation — scenario-major: one snapshot-clone wave per
-//     committee scenario streams every candidate through that scenario.
-//     Waves run the throughput fast path (beacon-tape replay plus
-//     broadcast-quiescence early stop, see manet/tape.go) and fan out
-//     across up to WithBatchWorkers goroutines. Objectives, violations
-//     and Metrics are bit-identical to serial Evaluate; per-node frame
-//     accounting inside the simulations is not (the dead tail of each
-//     simulation is skipped).
+//     committee scenario streams every candidate through that scenario,
+//     reusing one arena per wave, and waves fan out across up to
+//     WithBatchWorkers goroutines.
 //   - WithScenarioWorkers(n) fans the committee of every single
-//     Evaluate/Simulate/SimulateProtocol call across goroutines through
-//     the reference path, reducing single-evaluation latency on idle
-//     cores.
+//     Evaluate/Simulate/SimulateProtocol call across goroutines,
+//     reducing single-evaluation latency on idle cores.
 //
-// Every path — serial, committee-parallel, batched — accumulates the
-// committee average through the same ordered reduction (reduceCommittee),
-// so results are bit-identical across all of them for any worker count.
+// Every path accumulates the committee average through the same ordered
+// reduction (reduceCommittee), so results are bit-identical across all of
+// them for any worker count.
 package eval
 
 import (
 	"fmt"
+	"reflect"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"aedbmls/internal/aedb"
+	"aedbmls/internal/geom"
 	"aedbmls/internal/manet"
 	"aedbmls/internal/moo"
+	"aedbmls/internal/radio"
 	"aedbmls/internal/rng"
 )
 
@@ -123,9 +150,12 @@ type Problem struct {
 	warmStart       bool
 	scenarioWorkers int
 	batchWorkers    int
-	batchFastPath   bool
+	referencePath   bool
+	sharedWarmups   bool
+	bufferReuse     bool
 	snaps           []warmSlot
 	tapes           []tapeSlot
+	arenas          sync.Pool
 	evals           atomic.Int64
 }
 
@@ -171,13 +201,36 @@ func WithScenarioWorkers(n int) Option { return func(p *Problem) { p.scenarioWor
 // batch on the calling goroutine.
 func WithBatchWorkers(n int) Option { return func(p *Problem) { p.batchWorkers = n } }
 
-// WithBatchFastPath toggles EvaluateBatch's throughput engine (default
-// on): beacon-tape replay plus broadcast-quiescence early stop, both
-// bit-identical at the Metrics/objective level. Disabled, EvaluateBatch
-// evaluates every vector through the exact reference path Evaluate uses
-// (full-tail simulations, complete per-node accounting), which is the
-// comparison arm of the equivalence tests.
-func WithBatchFastPath(enabled bool) Option { return func(p *Problem) { p.batchFastPath = enabled } }
+// WithReferencePath selects the reference evaluation engine (default
+// off): full-tail simulations with complete per-node frame accounting,
+// no beacon-tape replay and directly built (never masked) warm-up
+// snapshots, on every path — serial Evaluate as well as EvaluateBatch. The default engine (quiescence early stop + beacon-tape
+// replay + arena buffer reuse) is bit-identical at the Metrics, objective
+// and violation level; the reference engine is the comparison arm of the
+// golden-metrics corpus and the equivalence tests, and the right choice
+// when per-node Tx/Rx/Lost accounting of the full timeline matters.
+//
+// It replaces the batch-only WithBatchFastPath of the previous engine
+// generation: the fast path is no longer a batch privilege, and the
+// opt-out governs both entry points symmetrically.
+func WithReferencePath(enabled bool) Option { return func(p *Problem) { p.referencePath = enabled } }
+
+// WithSharedWarmups toggles the process-wide warm-up snapshot cache
+// (default on): committee scenarios of share-eligible configurations
+// (the default Table II scenario shape, fast beacons, no trace hooks)
+// build their warm-up once at the largest paper committee size and mask
+// it down per density, so densities 100/200/300 of one seed share one
+// warm-up simulation per scenario. Disabled, every Problem builds its
+// own snapshots at its own node count. Both paths are bit-identical.
+func WithSharedWarmups(enabled bool) Option { return func(p *Problem) { p.sharedWarmups = enabled } }
+
+// WithBufferReuse toggles the instantiation arenas of the default engine
+// (default on): node/RNG blocks, the O(N^2) neighbor index, the event
+// heap, the spatial grid and the neighbor tables are recycled across the
+// simulations of a wave (and across serial Evaluate calls) instead of
+// being reallocated per candidate. Bit-identical; disable to A/B the
+// allocation behaviour. The reference path never uses arenas.
+func WithBufferReuse(enabled bool) Option { return func(p *Problem) { p.bufferReuse = enabled } }
 
 // NewProblem builds the tuning problem for a density in devices/km^2
 // (100, 200 or 300 in the paper; other values scale by area). The seed
@@ -196,7 +249,8 @@ func NewProblem(density int, seed uint64, opts ...Option) *Problem {
 		committee:     DefaultCommittee,
 		density:       density,
 		warmStart:     true,
-		batchFastPath: true,
+		sharedWarmups: true,
+		bufferReuse:   true,
 	}
 	for _, o := range opts {
 		o(p)
@@ -204,18 +258,25 @@ func NewProblem(density int, seed uint64, opts ...Option) *Problem {
 	if p.cfg.NumNodes <= 0 {
 		p.cfg.NumNodes = nodes
 	}
-	// Freeze the committee: seeds and source nodes drawn from a master
-	// stream that depends only on (seed, density). Scenario i is the same
-	// for every committee size >= i+1.
-	master := rng.New(seed ^ (uint64(density) * 0x9e3779b97f4a7c15))
+	// Freeze the committee: scenario seeds and source draws come from a
+	// master stream that depends only on the problem seed — NOT the
+	// density — so scenario i of every density is the same node
+	// population at a different prefix size (the cross-density warm-up
+	// sharing contract; see Snapshot.Mask). Scenario i is also the same
+	// for every committee size >= i+1, so larger committees extend
+	// smaller ones.
+	master := rng.New(seed)
 	for i := 0; i < p.committee; i++ {
+		sSeed := master.Uint64()
+		srcDraw := master.Uint64()
 		p.scenarios = append(p.scenarios, scenario{
-			seed:   master.Uint64(),
-			source: master.Intn(nodes) % p.cfg.NumNodes,
+			seed:   sSeed,
+			source: int(srcDraw % uint64(p.cfg.NumNodes)),
 		})
 	}
 	p.snaps = make([]warmSlot, len(p.scenarios))
 	p.tapes = make([]tapeSlot, len(p.scenarios))
+	p.arenas.New = func() any { return manet.NewArena() }
 	return p
 }
 
@@ -301,13 +362,12 @@ func reduceCommittee(terms []Metrics) Metrics {
 	return sum
 }
 
-// runCommittee evaluates the factory on every committee scenario through
-// the reference path, fanning across scenario workers when configured.
+// runCommittee evaluates the factory on every committee scenario, fanning
+// across scenario workers when configured.
 func (p *Problem) runCommittee(factory func(*manet.Node) manet.Protocol) Metrics {
 	terms := make([]Metrics, len(p.scenarios))
 	p.forEachScenario(p.scenarioWorkers, func(i int) {
-		st, net := p.runScenario(factory, i)
-		terms[i] = scenarioTerm(st, net)
+		terms[i] = p.scenarioMetrics(factory, i)
 	})
 	return reduceCommittee(terms)
 }
@@ -350,10 +410,146 @@ func (p *Problem) forEachScenario(workers int, fn func(i int)) {
 func (p *Problem) snapshot(i int) *manet.Snapshot {
 	slot := &p.snaps[i]
 	slot.once.Do(func() {
-		slot.snap, slot.err = manet.BuildSnapshot(p.cfg, p.scenarios[i].seed, p.cfg.WarmupTime)
+		slot.snap, slot.err = p.buildSnapshot(i)
 		slot.done.Store(true)
 	})
 	return slot.snap
+}
+
+// buildSnapshot builds scenario i's warm-start snapshot, through the
+// process-wide masked-parent cache when the configuration is eligible and
+// falling back to a direct per-density build otherwise (or on any sharing
+// failure — sharing is an optimisation, never a correctness gate). The
+// reference path always builds directly: a masked snapshot inherits the
+// parent's warm-up RxFrames accounting (see Snapshot.Mask), and complete
+// per-node accounting is exactly what WithReferencePath promises.
+func (p *Problem) buildSnapshot(i int) (*manet.Snapshot, error) {
+	sc := p.scenarios[i]
+	if p.sharedWarmups && !p.referencePath && p.cfg.NumNodes <= maskParentNodes {
+		if key, ok := sharedCfgKeyOf(p.cfg); ok {
+			if parent, err := sharedWarmup(key, p.cfg, sc.seed); err == nil {
+				if snap, err := parent.Mask(p.cfg.NumNodes); err == nil {
+					return snap, nil
+				}
+			}
+		}
+	}
+	return manet.BuildSnapshot(p.cfg, sc.seed, p.cfg.WarmupTime)
+}
+
+// maskParentNodes is the node count the shared warm-up parents are built
+// at: the largest paper committee (density 300, 75 nodes). Densities at
+// or below it mask the parent down to their own size.
+var maskParentNodes = func() int {
+	max := 0
+	for _, n := range DensityNodes {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}()
+
+// sharedCfgKey is the comparable fingerprint of a share-eligible
+// manet.Config, with NumNodes excluded (that is the mask size). Two
+// Problems whose configs collapse to the same key run identical warm-up
+// physics, so their scenario snapshots may come from one parent.
+type sharedCfgKey struct {
+	area                               geom.Rect
+	speedMin, speedMax, changeInterval float64
+	pathLoss                           radio.Model
+	defaultTxPowerDBm, sensitivityDBm  float64
+	captureThresholdDB                 float64
+	bitRateBps, propagationSpeed       float64
+	beaconInterval, neighborTimeout    float64
+	beaconBytes, dataBytes             int
+	warmupTime, endTime                float64
+}
+
+// sharedCfgKeyOf fingerprints cfg, reporting false when the configuration
+// is not share-eligible: masking requires fast beacons, and per-scenario
+// callbacks or mobility factories cannot be compared (or shared) safely.
+func sharedCfgKeyOf(cfg manet.Config) (sharedCfgKey, bool) {
+	if !cfg.FastBeacons || cfg.MakeMobility != nil ||
+		cfg.OnDataTx != nil || cfg.OnDataRx != nil || cfg.OnDataLost != nil {
+		return sharedCfgKey{}, false
+	}
+	if cfg.PathLoss == nil || !reflect.TypeOf(cfg.PathLoss).Comparable() {
+		return sharedCfgKey{}, false
+	}
+	return sharedCfgKey{
+		area:               cfg.Area,
+		speedMin:           cfg.SpeedMin,
+		speedMax:           cfg.SpeedMax,
+		changeInterval:     cfg.ChangeInterval,
+		pathLoss:           cfg.PathLoss,
+		defaultTxPowerDBm:  cfg.DefaultTxPowerDBm,
+		sensitivityDBm:     cfg.SensitivityDBm,
+		captureThresholdDB: cfg.CaptureThresholdDB,
+		bitRateBps:         cfg.BitRateBps,
+		propagationSpeed:   cfg.PropagationSpeed,
+		beaconInterval:     cfg.BeaconInterval,
+		neighborTimeout:    cfg.NeighborTimeout,
+		beaconBytes:        cfg.BeaconBytes,
+		dataBytes:          cfg.DataBytes,
+		warmupTime:         cfg.WarmupTime,
+		endTime:            cfg.EndTime,
+	}, true
+}
+
+// warmupKey identifies one shared parent warm-up simulation.
+type warmupKey struct {
+	cfg  sharedCfgKey
+	seed uint64
+}
+
+// sharedWarmupSlot lazily holds one parent snapshot.
+type sharedWarmupSlot struct {
+	once sync.Once
+	snap *manet.Snapshot
+	err  error
+}
+
+// sharedWarmups caches parent snapshots process-wide: one entry per
+// (eligible config, scenario seed), built at maskParentNodes nodes. The
+// entry count is capped: a seed-sweeping process would otherwise
+// accumulate parent snapshots without bound, and past the cap new
+// scenarios simply build directly (correct, just unshared).
+var (
+	sharedWarmupCache sync.Map
+	sharedWarmupCount atomic.Int64
+)
+
+// maxSharedWarmups bounds the cache: committees are 10 scenarios, so the
+// cap comfortably covers dozens of concurrently useful (config, seed)
+// combinations while keeping worst-case memory at a few hundred 75-node
+// snapshots.
+const maxSharedWarmups = 512
+
+// sharedWarmup returns (building once per process) the parent warm-up
+// snapshot for a scenario seed under an eligible configuration.
+func sharedWarmup(key sharedCfgKey, cfg manet.Config, seed uint64) (*manet.Snapshot, error) {
+	k := warmupKey{cfg: key, seed: seed}
+	slotAny, ok := sharedWarmupCache.Load(k)
+	if !ok {
+		if sharedWarmupCount.Load() >= maxSharedWarmups {
+			return nil, fmt.Errorf("eval: shared warm-up cache full")
+		}
+		var loaded bool
+		slotAny, loaded = sharedWarmupCache.LoadOrStore(k, &sharedWarmupSlot{})
+		if !loaded {
+			sharedWarmupCount.Add(1)
+		}
+	}
+	slot := slotAny.(*sharedWarmupSlot)
+	slot.once.Do(func() {
+		pcfg := cfg
+		pcfg.NumNodes = maskParentNodes
+		pcfg.MakeMobility = nil
+		pcfg.OnDataTx, pcfg.OnDataRx, pcfg.OnDataLost = nil, nil, nil
+		slot.snap, slot.err = manet.BuildSnapshot(pcfg, seed, pcfg.WarmupTime)
+	})
+	return slot.snap, slot.err
 }
 
 // WarmStartError reports why warm-start evaluation is degraded, if it is:
@@ -373,15 +569,32 @@ func (p *Problem) WarmStartError() error {
 	return nil
 }
 
-// runScenario simulates a single committee network under the given
-// protocol factory, via the warm-start snapshot when available.
-func (p *Problem) runScenario(factory func(*manet.Node) manet.Protocol, i int) (*manet.BroadcastStats, *manet.Network) {
+// scenarioMetrics simulates a single committee network under the given
+// protocol factory and returns its term of the committee average. The
+// default engine replays the scenario's beacon tape into an arena-backed
+// instantiation and stops at broadcast quiescence; the reference engine
+// (WithReferencePath) runs the allocating full-tail simulation.
+func (p *Problem) scenarioMetrics(factory func(*manet.Node) manet.Protocol, i int) Metrics {
 	sc := p.scenarios[i]
 	if p.warmStart {
 		if snap := p.snapshot(i); snap != nil {
-			net, st := snap.Instantiate(factory, sc.source, p.cfg.WarmupTime)
-			net.Run()
-			return st, net
+			if p.referencePath {
+				net, st := snap.Instantiate(factory, sc.source, p.cfg.WarmupTime)
+				net.Run()
+				return scenarioTerm(st, net)
+			}
+			arena := p.getArena()
+			var net *manet.Network
+			var st *manet.BroadcastStats
+			if tape := p.tapeFor(i, snap); tape != nil {
+				net, st = snap.InstantiateReplayInto(arena, factory, sc.source, p.cfg.WarmupTime, tape)
+			} else {
+				net, st = snap.InstantiateInto(arena, factory, sc.source, p.cfg.WarmupTime)
+			}
+			net.RunToQuiescence()
+			m := scenarioTerm(st, net)
+			p.putArena(arena)
+			return m
 		}
 	}
 	net, err := manet.New(p.cfg, sc.seed, factory)
@@ -389,8 +602,30 @@ func (p *Problem) runScenario(factory func(*manet.Node) manet.Protocol, i int) (
 		panic(fmt.Sprintf("eval: scenario construction failed: %v", err))
 	}
 	st := net.StartBroadcast(sc.source, p.cfg.WarmupTime)
-	net.Run()
-	return st, net
+	if p.referencePath {
+		net.Run()
+	} else {
+		net.RunToQuiescence()
+	}
+	return scenarioTerm(st, net)
+}
+
+// getArena checks an instantiation arena out of the Problem's pool (nil
+// when buffer reuse is disabled: the manet layer treats a nil arena as a
+// fresh one-shot buffer set, i.e. the plain allocating path).
+func (p *Problem) getArena() *manet.Arena {
+	if !p.bufferReuse {
+		return nil
+	}
+	return p.arenas.Get().(*manet.Arena)
+}
+
+// putArena returns an arena to the pool. The caller must have extracted
+// everything it needs from the last instantiation first.
+func (p *Problem) putArena(a *manet.Arena) {
+	if a != nil {
+		p.arenas.Put(a)
+	}
 }
 
 // SimulateProtocol runs the committee with an arbitrary protocol factory
@@ -456,10 +691,12 @@ func (p *Problem) batchWorkerCount() int {
 }
 
 // batchWave streams every candidate of the batch through committee
-// scenario i — one snapshot-clone wave. On the fast path the wave records
-// (once, cached on the Problem) the scenario's beacon tape, instantiates
-// replay networks with beacon events stripped, and stops each simulation
-// at broadcast quiescence.
+// scenario i — one snapshot-clone wave. On the default engine the wave
+// records (once, cached on the Problem) the scenario's beacon tape,
+// instantiates replay networks with beacon events stripped into one
+// arena reused across the whole wave, and stops each simulation at
+// broadcast quiescence. The reference engine runs every candidate through
+// the allocating full-tail path.
 func (p *Problem) batchWave(factories []func(*manet.Node) manet.Protocol, i int, terms []Metrics) {
 	s := len(p.scenarios)
 	sc := p.scenarios[i]
@@ -467,20 +704,27 @@ func (p *Problem) batchWave(factories []func(*manet.Node) manet.Protocol, i int,
 	var tape *manet.BeaconTape
 	if p.warmStart {
 		snap = p.snapshot(i)
-		if snap != nil && p.batchFastPath && p.cfg.FastBeacons {
+		if snap != nil && !p.referencePath {
 			tape = p.tapeFor(i, snap)
 		}
+	}
+	var arena *manet.Arena
+	if !p.referencePath {
+		arena = p.getArena()
 	}
 	for j, factory := range factories {
 		var st *manet.BroadcastStats
 		var net *manet.Network
 		switch {
 		case tape != nil:
-			net, st = snap.InstantiateReplay(factory, sc.source, p.cfg.WarmupTime, tape)
+			net, st = snap.InstantiateReplayInto(arena, factory, sc.source, p.cfg.WarmupTime, tape)
 			net.RunToQuiescence()
-		case snap != nil:
+		case snap != nil && p.referencePath:
 			net, st = snap.Instantiate(factory, sc.source, p.cfg.WarmupTime)
-			p.runBatchNet(net)
+			net.Run()
+		case snap != nil:
+			net, st = snap.InstantiateInto(arena, factory, sc.source, p.cfg.WarmupTime)
+			net.RunToQuiescence()
 		default:
 			var err error
 			net, err = manet.New(p.cfg, sc.seed, factory)
@@ -488,24 +732,24 @@ func (p *Problem) batchWave(factories []func(*manet.Node) manet.Protocol, i int,
 				panic(fmt.Sprintf("eval: scenario construction failed: %v", err))
 			}
 			st = net.StartBroadcast(sc.source, p.cfg.WarmupTime)
-			p.runBatchNet(net)
+			if p.referencePath {
+				net.Run()
+			} else {
+				net.RunToQuiescence()
+			}
 		}
 		terms[j*s+i] = scenarioTerm(st, net)
 	}
-}
-
-func (p *Problem) runBatchNet(net *manet.Network) {
-	if p.batchFastPath {
-		net.RunToQuiescence()
-	} else {
-		net.Run()
-	}
+	p.putArena(arena)
 }
 
 // tapeFor lazily records (once, thread-safely) the beacon tape of
-// committee scenario i. A nil result sends the wave down the plain
-// snapshot path.
+// committee scenario i. A nil result (frame-level beacons cannot be
+// taped) sends the caller down the plain snapshot path.
 func (p *Problem) tapeFor(i int, snap *manet.Snapshot) *manet.BeaconTape {
+	if !p.cfg.FastBeacons {
+		return nil
+	}
 	slot := &p.tapes[i]
 	slot.once.Do(func() {
 		slot.tape, _ = snap.RecordBeaconTape(p.cfg.EndTime)

@@ -1,0 +1,175 @@
+package eval
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"aedbmls/internal/aedb"
+)
+
+// updateGolden regenerates the golden-metrics corpus:
+//
+//	go test ./internal/eval -run TestGoldenMetrics -update
+//
+// Regeneration is a deliberate act: any bit drift in the evaluation
+// engine fails the table test below until the corpus is re-recorded and
+// the change justified in review.
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_metrics.json from the current engine")
+
+const goldenPath = "testdata/golden_metrics.json"
+
+// goldenCase enumerates the corpus axes: every paper density, several
+// committee seeds, two parameter vectors (a mid-domain incumbent and a
+// low-delay/wide-area one).
+type goldenCase struct {
+	Density int       `json:"density"`
+	Seed    uint64    `json:"seed"`
+	Params  []float64 `json:"params"`
+}
+
+// goldenMetrics carries one Metrics value twice: hex float64 strings are
+// the authoritative bit-exact record, the plain floats are the
+// human-readable rendering (Go's JSON float64 round-trip is also exact,
+// but hex makes bit-identity auditable at a glance).
+type goldenMetrics struct {
+	Hex      map[string]string  `json:"hex"`
+	Readable map[string]float64 `json:"readable"`
+}
+
+type goldenEntry struct {
+	goldenCase
+	Committee int           `json:"committee"`
+	Metrics   goldenMetrics `json:"metrics"`
+}
+
+type goldenFile struct {
+	Comment string        `json:"comment"`
+	Entries []goldenEntry `json:"entries"`
+}
+
+// goldenCommittee keeps corpus generation and verification fast while
+// still exercising multi-scenario reduction.
+const goldenCommittee = 3
+
+func goldenCases() []goldenCase {
+	mid := []float64{0.1, 0.5, -80, 1, 10}
+	wide := []float64{0.02, 0.25, -73, 2.2, 35}
+	var cases []goldenCase
+	for _, density := range []int{100, 200, 300} {
+		for seed := uint64(1); seed <= 4; seed++ {
+			params := mid
+			if seed%2 == 0 {
+				params = wide
+			}
+			cases = append(cases, goldenCase{Density: density, Seed: seed, Params: params})
+		}
+	}
+	return cases
+}
+
+func metricsFields(m Metrics) map[string]float64 {
+	return map[string]float64{
+		"energy_dbm_sum": m.EnergyDBmSum,
+		"coverage":       m.Coverage,
+		"forwardings":    m.Forwardings,
+		"broadcast_time": m.BroadcastTime,
+		"energy_mj":      m.EnergyMJ,
+		"collisions":     m.Collisions,
+	}
+}
+
+func encodeGolden(m Metrics) goldenMetrics {
+	fields := metricsFields(m)
+	g := goldenMetrics{Hex: map[string]string{}, Readable: map[string]float64{}}
+	for name, v := range fields {
+		g.Hex[name] = strconv.FormatFloat(v, 'x', -1, 64)
+		g.Readable[name] = v
+	}
+	return g
+}
+
+func simulateCase(c goldenCase, opts ...Option) Metrics {
+	p := NewProblem(c.Density, c.Seed, append([]Option{WithCommittee(goldenCommittee)}, opts...)...)
+	return p.Simulate(aedb.FromVector(c.Params))
+}
+
+// TestGoldenMetrics is the anti-drift wall of the evaluation engine:
+// every committed corpus entry must be reproduced bit-for-bit by BOTH
+// engines — the default fast path (beacon-tape replay, quiescence early
+// stop, arena reuse, shared masked warm-ups) and the reference path —
+// across all paper densities and several committee seeds. A failure means
+// the default numeric path silently drifted; regenerate with -update only
+// for a change whose numeric effect is understood and intended.
+func TestGoldenMetrics(t *testing.T) {
+	if *updateGolden {
+		writeGolden(t)
+	}
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden corpus missing (generate with -update): %v", err)
+	}
+	var file goldenFile
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatalf("corrupt golden corpus: %v", err)
+	}
+	if len(file.Entries) < 12 {
+		t.Fatalf("golden corpus has %d entries, want >= 12", len(file.Entries))
+	}
+	for _, e := range file.Entries {
+		name := fmt.Sprintf("d%d/seed%d", e.Density, e.Seed)
+		if e.Committee != goldenCommittee {
+			t.Fatalf("%s: corpus committee %d does not match test committee %d", name, e.Committee, goldenCommittee)
+		}
+		for pathName, m := range map[string]Metrics{
+			"default":   simulateCase(e.goldenCase),
+			"reference": simulateCase(e.goldenCase, WithReferencePath(true)),
+			"unshared":  simulateCase(e.goldenCase, WithSharedWarmups(false), WithBufferReuse(false)),
+		} {
+			got := metricsFields(m)
+			for field, wantHex := range e.Metrics.Hex {
+				want, err := strconv.ParseFloat(wantHex, 64)
+				if err != nil {
+					t.Fatalf("%s: bad hex float %q: %v", name, wantHex, err)
+				}
+				if gv := got[field]; gv != want || math.Signbit(gv) != math.Signbit(want) {
+					t.Errorf("%s [%s path]: %s drifted: got %s (%v), want %s (%v)",
+						name, pathName, field, strconv.FormatFloat(gv, 'x', -1, 64), gv, wantHex, want)
+				}
+			}
+		}
+	}
+}
+
+func writeGolden(t *testing.T) {
+	t.Helper()
+	file := goldenFile{
+		Comment: "Bit-exact committee metrics of the evaluation engine (committee " +
+			strconv.Itoa(goldenCommittee) + "). Regenerate deliberately with: go test ./internal/eval -run TestGoldenMetrics -update",
+	}
+	for _, c := range goldenCases() {
+		def := simulateCase(c)
+		ref := simulateCase(c, WithReferencePath(true))
+		if def != ref {
+			t.Fatalf("refusing to record corpus: default and reference engines disagree on d%d seed %d:\n%+v\n%+v",
+				c.Density, c.Seed, def, ref)
+		}
+		file.Entries = append(file.Entries, goldenEntry{goldenCase: c, Committee: goldenCommittee, Metrics: encodeGolden(def)})
+	}
+	out, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenPath, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d entries)", goldenPath, len(file.Entries))
+}

@@ -1,0 +1,115 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"aedbmls/internal/aedb"
+	"aedbmls/internal/rng"
+)
+
+// TestMetricsPhysicalBounds is the randomised property wall over the
+// default engine: whatever the parameter vector, the committee-averaged
+// metrics must respect the physics of the scenario — coverage within
+// [0, nodes-1] (the source cannot cover itself), forwardings within
+// [0, nodes], broadcast time inside the simulation window, and
+// non-negative energies and collision counts.
+func TestMetricsPhysicalBounds(t *testing.T) {
+	master := rng.New(777)
+	lo, hi := aedb.DefaultDomain().Bounds()
+	for _, density := range []int{100, 200} {
+		p := NewProblem(density, 11, WithCommittee(2))
+		nodes := float64(p.Nodes())
+		window := p.cfg.EndTime - p.cfg.WarmupTime
+		for trial := 0; trial < 12; trial++ {
+			x := make([]float64, len(lo))
+			for k := range x {
+				x[k] = master.Range(lo[k], hi[k])
+			}
+			f, viol, aux := p.Evaluate(x)
+			m := aux.(Metrics)
+			if m.Coverage < 0 || m.Coverage > nodes-1 {
+				t.Fatalf("d%d trial %d: coverage %v outside [0, %v]", density, trial, m.Coverage, nodes-1)
+			}
+			if m.Forwardings < 0 || m.Forwardings > nodes {
+				t.Fatalf("d%d trial %d: forwardings %v outside [0, %v]", density, trial, m.Forwardings, nodes)
+			}
+			if m.BroadcastTime < 0 || m.BroadcastTime > window+1e-9 {
+				t.Fatalf("d%d trial %d: broadcast time %v outside [0, %v]", density, trial, m.BroadcastTime, window)
+			}
+			if m.EnergyMJ < 0 || m.Collisions < 0 {
+				t.Fatalf("d%d trial %d: negative energy/collisions %+v", density, trial, m)
+			}
+			if math.IsInf(m.EnergyDBmSum, 0) || math.IsNaN(m.EnergyDBmSum) {
+				t.Fatalf("d%d trial %d: non-finite energy %v", density, trial, m.EnergyDBmSum)
+			}
+			if f[1] != -m.Coverage || f[2] != m.Forwardings {
+				t.Fatalf("d%d trial %d: objective mapping inconsistent", density, trial)
+			}
+			if wantViol := math.Max(0, m.BroadcastTime-BroadcastTimeLimit); viol != wantViol {
+				t.Fatalf("d%d trial %d: violation %v, want %v", density, trial, viol, wantViol)
+			}
+		}
+	}
+}
+
+// TestReduceCommitteePermutationInvariant: the committee average is a
+// mean, so permuting the reduction inputs must not change any metric
+// beyond floating-point reassociation noise (and the term multiset is
+// preserved exactly by construction).
+func TestReduceCommitteePermutationInvariant(t *testing.T) {
+	master := rng.New(42)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + master.Intn(9)
+		terms := make([]Metrics, n)
+		for i := range terms {
+			terms[i] = Metrics{
+				EnergyDBmSum:  master.Range(0, 2000),
+				Coverage:      master.Range(0, 75),
+				Forwardings:   master.Range(0, 75),
+				BroadcastTime: master.Range(0, 10),
+				EnergyMJ:      master.Range(0, 5),
+				Collisions:    master.Range(0, 40),
+			}
+		}
+		want := reduceCommittee(terms)
+		perm := make([]Metrics, n)
+		for i, j := range master.Perm(n) {
+			perm[i] = terms[j]
+		}
+		got := reduceCommittee(perm)
+		close := func(a, b float64) bool {
+			return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+		}
+		if !close(got.EnergyDBmSum, want.EnergyDBmSum) || !close(got.Coverage, want.Coverage) ||
+			!close(got.Forwardings, want.Forwardings) || !close(got.BroadcastTime, want.BroadcastTime) ||
+			!close(got.EnergyMJ, want.EnergyMJ) || !close(got.Collisions, want.Collisions) {
+			t.Fatalf("trial %d: permuted reduction diverged:\n%+v\n%+v", trial, want, got)
+		}
+	}
+}
+
+// TestCommitteePermutationMetamorphic: permuting the committee order of a
+// live Problem (scenario list reversed before first evaluation) must
+// leave every metric invariant up to reassociation noise — the committee
+// is a set, the ordered reduction only pins the bit pattern.
+func TestCommitteePermutationMetamorphic(t *testing.T) {
+	params := aedb.Params{MinDelay: 0.06, MaxDelay: 0.4, BorderThresholdDBm: -82, MarginDBm: 1.3, NeighborsThreshold: 18}
+	for _, density := range []int{100, 300} {
+		p1 := NewProblem(density, 5, WithCommittee(4))
+		p2 := NewProblem(density, 5, WithCommittee(4))
+		for i, j := 0, len(p2.scenarios)-1; i < j; i, j = i+1, j-1 {
+			p2.scenarios[i], p2.scenarios[j] = p2.scenarios[j], p2.scenarios[i]
+		}
+		a := p1.Simulate(params)
+		b := p2.Simulate(params)
+		close := func(x, y float64) bool {
+			return math.Abs(x-y) <= 1e-9*math.Max(1, math.Max(math.Abs(x), math.Abs(y)))
+		}
+		if !close(a.EnergyDBmSum, b.EnergyDBmSum) || !close(a.Coverage, b.Coverage) ||
+			!close(a.Forwardings, b.Forwardings) || !close(a.BroadcastTime, b.BroadcastTime) ||
+			!close(a.EnergyMJ, b.EnergyMJ) || !close(a.Collisions, b.Collisions) {
+			t.Fatalf("d%d: committee permutation changed the metrics:\n%+v\n%+v", density, a, b)
+		}
+	}
+}

@@ -44,6 +44,11 @@ type Scale struct {
 	// many goroutines (eval.WithScenarioWorkers); metrics are
 	// bit-identical for any value. 0 or 1 evaluates serially.
 	ScenarioWorkers int
+	// ReferencePath runs every evaluation through the full-tail reference
+	// engine instead of the default fast engine (eval.WithReferencePath).
+	// Metrics are bit-identical; paper-reproduction runs may set it to
+	// soak the equivalence contract at scale.
+	ReferencePath bool
 	// Seed is the base seed; run r of algorithm a uses
 	// Seed + 1000*r + a, and the network committee uses Seed directly.
 	Seed uint64
@@ -132,6 +137,9 @@ func (s Scale) EvalOptions() []eval.Option {
 	opts := []eval.Option{eval.WithCommittee(s.Committee)}
 	if s.ScenarioWorkers > 1 {
 		opts = append(opts, eval.WithScenarioWorkers(s.ScenarioWorkers))
+	}
+	if s.ReferencePath {
+		opts = append(opts, eval.WithReferencePath(true))
 	}
 	return opts
 }

@@ -345,6 +345,9 @@ func (g *FlatGrid) Dims() (nx, ny int) { return g.nx, g.ny }
 // CellSize returns the grid resolution.
 func (g *FlatGrid) CellSize() float64 { return g.cellSize }
 
+// Bounds returns the rectangle the grid was built over.
+func (g *FlatGrid) Bounds() Rect { return g.bounds }
+
 // WithinRadius appends to dst the IDs of all points within radius of q
 // (excluding the point with ID exclude; pass a negative exclude to keep
 // all) and returns the extended slice. Order is unspecified.

@@ -476,7 +476,8 @@ func New(cfg Config, seed uint64, makeProto func(*Node) Protocol) (*Network, err
 
 // initGrid sizes the spatial index: one cell per maximum radio range, so
 // any feasible transmission query touches at most a 3x3 block (plus drift
-// slop).
+// slop). A grid left behind by a previous instantiation through the same
+// arena is reused when its shape still matches (Build fully re-indexes).
 func (net *Network) initGrid() {
 	cell := net.maxRange
 	if cell <= 0 {
@@ -485,9 +486,17 @@ func (net *Network) initGrid() {
 			cell = 1
 		}
 	}
-	net.grid = geom.NewFlatGrid(net.Cfg.Area, cell, net.Cfg.NumNodes)
+	if net.grid == nil || net.grid.Len() != net.Cfg.NumNodes ||
+		net.grid.CellSize() != cell || net.grid.Bounds() != net.Cfg.Area {
+		net.grid = geom.NewFlatGrid(net.Cfg.Area, cell, net.Cfg.NumNodes)
+	}
 	net.gridBuilt = false
-	net.posBuf = make([]geom.Vec2, net.Cfg.NumNodes)
+	net.gridTime = 0
+	if cap(net.posBuf) < net.Cfg.NumNodes {
+		net.posBuf = make([]geom.Vec2, net.Cfg.NumNodes)
+	} else {
+		net.posBuf = net.posBuf[:net.Cfg.NumNodes]
+	}
 }
 
 // computeMaxSpeed derives the network-wide node speed bound from the

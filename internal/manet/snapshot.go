@@ -138,57 +138,132 @@ func (s *Snapshot) PendingEvents() int { return len(s.events) }
 // Each call yields an independent simulation; concurrent calls on one
 // snapshot are safe.
 func (s *Snapshot) Instantiate(makeProto func(*Node) Protocol, source int, startAt float64) (*Network, *BroadcastStats) {
-	return s.instantiate(makeProto, source, startAt, nil)
+	return s.instantiate(makeProto, source, startAt, nil, nil)
 }
 
-// instantiate is the shared body of Instantiate and InstantiateReplay:
-// with a tape, the restored schedule is the tape's beacon-stripped one
-// and neighbor tables are served lazily from the tape (see tape.go).
-func (s *Snapshot) instantiate(makeProto func(*Node) Protocol, source int, startAt float64, tape *BeaconTape) (*Network, *BroadcastStats) {
+// InstantiateInto is Instantiate drawing every instantiation buffer (the
+// node and RNG blocks, the O(N^2) neighbor index, the event heap, the
+// spatial grid, neighbor tables, the reception pool) from the arena
+// instead of the heap. The previously returned Network and stats of the
+// same arena are invalidated; see Arena for the ownership contract.
+func (s *Snapshot) InstantiateInto(a *Arena, makeProto func(*Node) Protocol, source int, startAt float64) (*Network, *BroadcastStats) {
+	return s.instantiate(makeProto, source, startAt, nil, a)
+}
+
+// Arena is a reusable set of instantiation buffers for the evaluation hot
+// path: one warmed scenario streaming many candidate simulations
+// re-instantiates the same network shape over and over, and without reuse
+// the node/RNG blocks, the O(N^2) per-node neighbor index, the restored
+// event heap, the spatial grid and every neighbor table are reallocated
+// per candidate.
+//
+// Ownership contract: an Arena belongs to exactly one goroutine at a
+// time, and each InstantiateInto/InstantiateReplayInto call on it
+// invalidates the Network and BroadcastStats returned by the previous
+// call — extract whatever outlives the simulation (the metrics) before
+// reusing the arena. Buffers grow to the largest network instantiated
+// through them and are re-sized automatically when the snapshot shape
+// changes, so one arena may serve snapshots of different node counts,
+// just not concurrently. Results are bit-identical to the allocating
+// Instantiate paths: every buffer is fully overwritten or cleared before
+// use.
+type Arena struct {
+	net       *Network
+	nodes     []*Node
+	nodeBlock []Node
+	rngBlock  []rng.Rand
+	posBlock  []int32
+	netRng    rng.Rand
+}
+
+// NewArena returns an empty arena; buffers are allocated lazily at first
+// use and reused afterwards.
+func NewArena() *Arena { return &Arena{} }
+
+// instantiate is the shared body of the Instantiate variants: with a
+// tape, the restored schedule is the tape's beacon-stripped one and
+// neighbor tables are served lazily from the tape (see tape.go); with an
+// arena, all buffers come from (and return to) it. A nil arena acts as a
+// fresh one-shot arena, which is exactly the allocating path.
+func (s *Snapshot) instantiate(makeProto func(*Node) Protocol, source int, startAt float64, tape *BeaconTape, a *Arena) (*Network, *BroadcastStats) {
+	if a == nil {
+		a = &Arena{} // one-shot: freshly allocated buffers, owned by the returned network
+	}
 	events := s.events
 	if tape != nil {
 		events = tape.events
 	}
-	net := &Network{
-		Sim:        sim.Restore(s.now, events),
-		Cfg:        s.cfg,
-		Rng:        s.netRng.Clone(),
-		stats:      make(map[int]*BroadcastStats),
-		nextMsgID:  s.nextMsgID,
-		Collisions: s.collision,
-		recs:       append([]reception(nil), s.recs...),
-		freeRecs:   append([]int32(nil), s.freeRecs...),
+	nn := len(s.nodes)
+	net := a.net
+	if net == nil {
+		net = &Network{Sim: sim.New(), stats: make(map[int]*BroadcastStats, 1)}
+		a.net = net
 	}
+	net.Sim.Reset(s.now, events)
 	net.Sim.SetHandler(net.dispatch)
+	net.Cfg = s.cfg
+	a.netRng = *s.netRng
+	net.Rng = &a.netRng
+	clear(net.stats)
+	net.nextMsgID = s.nextMsgID
+	net.Collisions = s.collision
+	net.recs = append(net.recs[:0], s.recs...)
+	net.freeRecs = append(net.freeRecs[:0], s.freeRecs...)
+	net.dataInFlight = 0
+	net.tapeRec = nil
 	net.maxRange = s.cfg.PathLoss.RangeFor(s.cfg.DefaultTxPowerDBm, s.cfg.SensitivityDBm)
 	net.initGrid()
 	if tape != nil {
 		net.tape = tape
-		net.tapeCur = make([]int32, len(s.nodes))
+		if cap(net.tapeCur) < nn {
+			net.tapeCur = make([]int32, nn)
+		} else {
+			net.tapeCur = net.tapeCur[:nn]
+			clear(net.tapeCur)
+		}
+	} else {
+		net.tape = nil
+		net.tapeCur = nil
 	}
 	// Nodes, their RNG states and (when the network is small enough to
 	// afford them, see nbrIndexMaxNodes) ID-index tables come from block
 	// allocations instead of 3N small ones; only mobility clones and
-	// neighbor tables (which grow independently) stay per-node.
-	nn := len(s.nodes)
-	net.Nodes = make([]*Node, nn)
-	nodeBlock := make([]Node, nn)
-	rngBlock := make([]rng.Rand, nn)
-	var posBlock []int32
-	if nn <= nbrIndexMaxNodes {
-		posBlock = make([]int32, nn*nn)
+	// neighbor tables (which grow independently) stay per-node, and the
+	// arena recycles even those across instantiations.
+	if len(a.nodeBlock) != nn {
+		a.nodes = make([]*Node, nn)
+		a.nodeBlock = make([]Node, nn)
+		a.rngBlock = make([]rng.Rand, nn)
+		a.posBlock = nil
+		if nn <= nbrIndexMaxNodes {
+			a.posBlock = make([]int32, nn*nn)
+		}
+	} else if a.posBlock != nil {
+		// The index block carries entries from the previous instantiation;
+		// a single memclr beats per-row unindexing.
+		clear(a.posBlock)
 	}
+	net.Nodes = a.nodes
 	for i := range s.nodes {
 		ns := &s.nodes[i]
-		rngBlock[i] = *ns.rng
-		n := &nodeBlock[i]
+		a.rngBlock[i] = *ns.rng
+		n := &a.nodeBlock[i]
+		// Harvest the buffers the previous simulation grew before the
+		// struct is overwritten.
+		nbrBuf := n.neighbors[:0]
+		if cap(nbrBuf) < len(ns.neighbors) {
+			nbrBuf = make([]nbrRec, 0, len(ns.neighbors)+8)
+		}
+		outBuf := n.nbrOut[:0]
+		activeBuf := n.active[:0]
 		*n = Node{
 			ID:         i,
 			net:        net,
 			mob:        ns.mob.Clone(),
-			Rng:        &rngBlock[i],
-			neighbors:  append(make([]nbrRec, 0, len(ns.neighbors)+8), ns.neighbors...),
-			active:     append([]int32(nil), ns.active...),
+			Rng:        &a.rngBlock[i],
+			neighbors:  append(nbrBuf, ns.neighbors...),
+			nbrOut:     outBuf,
+			active:     append(activeBuf, ns.active...),
 			txUntil:    ns.txUntil,
 			cachedAt:   math.NaN(),
 			TxEnergyMJ: ns.txEnergyMJ,
@@ -196,8 +271,8 @@ func (s *Snapshot) instantiate(makeProto func(*Node) Protocol, source int, start
 			RxFrames:   ns.rxFrames,
 			LostFrames: ns.lostFrames,
 		}
-		if posBlock != nil {
-			n.nbrPos = posBlock[i*nn : (i+1)*nn : (i+1)*nn]
+		if a.posBlock != nil {
+			n.nbrPos = a.posBlock[i*nn : (i+1)*nn : (i+1)*nn]
 			for j, e := range n.neighbors {
 				n.nbrPos[e.id] = int32(j + 1)
 			}
@@ -213,4 +288,78 @@ func (s *Snapshot) instantiate(makeProto func(*Node) Protocol, source int, start
 	}
 	st := net.startBroadcast(source, startAt, true)
 	return net, st
+}
+
+// Mask derives the snapshot of the k-node sub-network consisting of nodes
+// [0, k) — the cross-density warm-up sharing primitive. Because node
+// construction draws every stream from the master RNG in index order,
+// nodes [0, k) of a larger network are EXACTLY the nodes of the k-node
+// network built from the same scenario seed; and because fast beacons
+// neither contend with anything nor touch protocol state, dropping the
+// masked senders' beacon rows from the neighbor tables (and their pending
+// events from the schedule) leaves precisely the warm-up state the k-node
+// network reaches on its own. A masked snapshot is therefore bit-identical
+// to BuildSnapshot of the k-node scenario on every broadcast metric, every
+// RNG stream and every event; the one thing it inherits from the parent is
+// per-node receive accounting of the warm-up beacons (RxFrames), which no
+// metric reads.
+//
+// Mask requires the fast-beacon medium: frame-level beacons contend on the
+// shared medium, so a masked node's transmissions would have influenced
+// the survivors' tables and collision counters. k must be in [1, NumNodes];
+// masking to the full size returns the snapshot itself.
+func (s *Snapshot) Mask(k int) (*Snapshot, error) {
+	if k < 1 || k > len(s.nodes) {
+		return nil, fmt.Errorf("manet: mask size %d outside [1, %d]", k, len(s.nodes))
+	}
+	if k == len(s.nodes) {
+		return s, nil
+	}
+	if !s.cfg.FastBeacons {
+		return nil, fmt.Errorf("manet: masking requires the fast-beacon medium")
+	}
+	if len(s.recs) != 0 {
+		return nil, fmt.Errorf("manet: cannot mask with receptions in flight")
+	}
+	cfg := s.cfg
+	cfg.NumNodes = k
+	m := &Snapshot{
+		cfg:       cfg,
+		now:       s.now,
+		nextMsgID: s.nextMsgID,
+		collision: s.collision,
+		netRng:    s.netRng.Clone(),
+		nodes:     make([]nodeState, k),
+	}
+	for _, ev := range s.events {
+		switch ev.Kind {
+		case evBeacon, evMobility:
+			if int(ev.A) < k {
+				m.events = append(m.events, ev)
+			}
+		default:
+			return nil, fmt.Errorf("manet: cannot mask pending event kind %d", ev.Kind)
+		}
+	}
+	for i := 0; i < k; i++ {
+		ns := &s.nodes[i]
+		nbrs := make([]nbrRec, 0, len(ns.neighbors))
+		for _, e := range ns.neighbors {
+			if int(e.id) < k {
+				nbrs = append(nbrs, e)
+			}
+		}
+		m.nodes[i] = nodeState{
+			mob:        ns.mob.Clone(),
+			rng:        ns.rng.Clone(),
+			neighbors:  nbrs,
+			active:     append([]int32(nil), ns.active...),
+			txUntil:    ns.txUntil,
+			txEnergyMJ: ns.txEnergyMJ,
+			txFrames:   ns.txFrames,
+			rxFrames:   ns.rxFrames,
+			lostFrames: ns.lostFrames,
+		}
+	}
+	return m, nil
 }

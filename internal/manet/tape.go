@@ -76,7 +76,7 @@ func (s *Snapshot) RecordBeaconTape(until float64) (*BeaconTape, error) {
 		}
 		tape.events = append(tape.events, ev)
 	}
-	rec, _ := s.instantiate(nil, 0, s.now, nil)
+	rec, _ := s.instantiate(nil, 0, s.now, nil, nil)
 	rec.tapeRec = tape
 	rec.Sim.RunUntil(until)
 	return tape, nil
@@ -93,7 +93,16 @@ func (s *Snapshot) InstantiateReplay(makeProto func(*Node) Protocol, source int,
 	if tape == nil {
 		panic("manet: InstantiateReplay needs a tape")
 	}
-	return s.instantiate(makeProto, source, startAt, tape)
+	return s.instantiate(makeProto, source, startAt, tape, nil)
+}
+
+// InstantiateReplayInto is InstantiateReplay drawing every instantiation
+// buffer from the arena; see Arena for the ownership contract.
+func (s *Snapshot) InstantiateReplayInto(a *Arena, makeProto func(*Node) Protocol, source int, startAt float64, tape *BeaconTape) (*Network, *BroadcastStats) {
+	if tape == nil {
+		panic("manet: InstantiateReplay needs a tape")
+	}
+	return s.instantiate(makeProto, source, startAt, tape, a)
 }
 
 // syncTape applies every tape upsert for node n that is due at the

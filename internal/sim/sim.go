@@ -106,14 +106,39 @@ func New() *Simulator {
 // order among same-time events is preserved. The restored sequence
 // counter leaves sequence number 0 free for a single AtFront call.
 func Restore(now float64, events []TaggedEvent) *Simulator {
-	s := &Simulator{now: now}
-	s.heap = make([]entry, len(events))
+	s := &Simulator{}
+	s.Reset(now, events)
+	return s
+}
+
+// Reset rewinds the simulator to the state Restore(now, events) would
+// build, reusing the existing heap storage. It is the allocation-free
+// Restore for callers (the wave-level instantiation arena) that run many
+// short simulations from the same captured schedule. Any previously
+// pending events are discarded; the handler must be re-installed with
+// SetHandler before a tagged event fires.
+func (s *Simulator) Reset(now float64, events []TaggedEvent) {
+	// Zero abandoned slots beyond the new length so stale *Event
+	// references from an early-stopped run are released.
+	for i := len(events); i < len(s.heap); i++ {
+		s.heap[i] = entry{}
+	}
+	if cap(s.heap) < len(events) {
+		s.heap = make([]entry, len(events))
+	} else {
+		s.heap = s.heap[:len(events)]
+	}
 	for i, ev := range events {
 		// A sorted array is a valid min-heap as-is.
 		s.heap[i] = entry{time: ev.Time, seq: uint64(i) + 1, kind: ev.Kind, a: ev.A, b: ev.B}
 	}
+	s.now = now
 	s.seq = uint64(len(events)) + 1
-	return s
+	s.stopped = false
+	s.fired = 0
+	s.frontUsed = false
+	s.closures = 0
+	s.handler = nil
 }
 
 // SetHandler installs the dispatch function for tagged events. It must be

@@ -1,15 +1,43 @@
 #!/usr/bin/env bash
 # bench.sh — capture the evaluation-engine perf trajectory.
 #
-# Runs the evaluation-engine benchmarks (serial, committee-parallel,
-# batched, plus the from-scratch simulation) with -benchmem and writes a
-# JSON summary (ns/op, B/op, allocs/op per density) so future PRs can
-# compare against the recorded baseline. The batch speedup of record is
-# BenchmarkEvaluateSerial64 ns/op / BenchmarkEvaluateBatch ns/op.
+# Default mode runs the evaluation-engine benchmarks (serial,
+# committee-parallel, batched, plus the from-scratch simulation) with
+# -benchmem and writes a JSON summary (ns/op, B/op, allocs/op per
+# density) so future PRs can compare against the recorded baseline.
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
+#
+# Smoke mode (CI regression gate):
+#
+#	scripts/bench.sh --smoke [baseline.json]
+#
+# runs the density-300 batch benchmark once (-benchtime=3x, one process —
+# the same command the committed smoke_baseline_ns was recorded with) and
+# fails when the measured ns/op regresses more than 25% against the
+# baseline JSON (default BENCH_PR3.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--smoke" ]; then
+  BASELINE="${2:-BENCH_PR3.json}"
+  BENCH="BenchmarkEvaluateBatch/300"
+  RAW="$(go test -run '^$' -bench "$BENCH" -benchtime=3x . 2>&1)"
+  echo "$RAW"
+  NOW="$(echo "$RAW" | awk '$1 ~ /^BenchmarkEvaluateBatch\/300/ {print $3; exit}')"
+  BASE="$(grep -o "\"$BENCH\": *[0-9]*" "$BASELINE" | grep -o '[0-9]*$' || true)"
+  if [ -z "${NOW:-}" ] || [ -z "${BASE:-}" ]; then
+    echo "smoke: missing measurement (${NOW:-none}) or baseline (${BASE:-none}) for $BENCH" >&2
+    exit 1
+  fi
+  LIMIT=$((BASE + BASE / 4))
+  echo "smoke: $BENCH ${NOW} ns/op vs baseline ${BASE} ns/op (fail above ${LIMIT})"
+  if [ "$NOW" -gt "$LIMIT" ]; then
+    echo "smoke: >25% regression against $BASELINE" >&2
+    exit 1
+  fi
+  exit 0
+fi
 
 OUT="${1:-BENCH.json}"
 BENCHTIME="${2:-20x}"
