@@ -49,6 +49,13 @@ type Config struct {
 	// that — so this knob trades speed for complete per-node accounting
 	// and is primarily the comparison arm of soak runs.
 	ReferencePath bool
+	// UnsharedTapes opts this run's evaluation problem out of the
+	// process-wide beacon-tape cache (eval.WithSharedTapes): every
+	// committee scenario then records its own tape instead of replaying
+	// the shared cross-Problem, cross-density recording. Metrics are
+	// bit-identical either way; the opt-out exists for cache-pressure
+	// control and as the comparison arm of the sharing tests.
+	UnsharedTapes bool
 	// Deterministic selects the bit-reproducible round-robin execution
 	// instead of the threaded one.
 	Deterministic bool
@@ -119,6 +126,9 @@ func Tune(cfg Config) (*Result, error) {
 	}
 	if cfg.ReferencePath {
 		opts = append(opts, eval.WithReferencePath(true))
+	}
+	if cfg.UnsharedTapes {
+		opts = append(opts, eval.WithSharedTapes(false))
 	}
 	problem := eval.NewProblem(cfg.Density, cfg.Seed, opts...)
 

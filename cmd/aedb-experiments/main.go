@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	aedb-experiments [-scale tiny|small|paper] [-out dir] [-scenario-workers 1] [-reference-path]
+//	aedb-experiments [-scale tiny|small|paper] [-out dir] [-scenario-workers 1] [-reference-path] [-unshared-tapes]
 //	                 [-only fig2,tab1,fig6,fig7,tab4,timing,config,ablation,memetic,beacons,mobility,spea2]
 //
 // The default small scale keeps all structural ratios of the paper
@@ -33,6 +33,7 @@ func main() {
 	outDir := flag.String("out", "", "directory for machine-readable bundles (JSON) and fronts (CSV); empty disables")
 	scenarioWorkers := flag.Int("scenario-workers", 1, "goroutines per evaluation committee (results are bit-identical for any value)")
 	referencePath := flag.Bool("reference-path", false, "evaluate through the full-tail reference engine (bit-identical metrics, slower)")
+	unsharedTapes := flag.Bool("unshared-tapes", false, "record beacon tapes per problem instead of sharing the process-wide cache (bit-identical metrics)")
 	flag.Parse()
 
 	sc, err := experiments.ScaleByName(*scaleName)
@@ -44,6 +45,7 @@ func main() {
 	}
 	sc.ScenarioWorkers = *scenarioWorkers
 	sc.ReferencePath = *referencePath
+	sc.UnsharedTapes = *unsharedTapes
 	want := map[string]bool{}
 	if *only != "" {
 		for _, k := range strings.Split(*only, ",") {

@@ -6,6 +6,7 @@
 //	aedb-mls [-density 100] [-seed 1] [-pops 8] [-workers 12]
 //	         [-evals 250] [-reset 50] [-alpha 0.2] [-committee 10]
 //	         [-neighborhood 1] [-scenario-workers 1] [-reference-path]
+//	         [-unshared-tapes]
 package main
 
 import (
@@ -32,11 +33,12 @@ func main() {
 	neighborhood := flag.Int("neighborhood", 1, "candidate moves batched per local-search iteration (1 = paper's step)")
 	scenarioWorkers := flag.Int("scenario-workers", 1, "goroutines per evaluation committee (1 = serial committee)")
 	referencePath := flag.Bool("reference-path", false, "evaluate through the full-tail reference engine (bit-identical metrics, slower)")
+	unsharedTapes := flag.Bool("unshared-tapes", false, "record beacon tapes per problem instead of sharing the process-wide cache (bit-identical metrics)")
 	flag.Parse()
 
 	problem := eval.NewProblem(*density, *seed,
 		eval.WithCommittee(*committee), eval.WithScenarioWorkers(*scenarioWorkers),
-		eval.WithReferencePath(*referencePath))
+		eval.WithReferencePath(*referencePath), eval.WithSharedTapes(!*unsharedTapes))
 	cfg := core.DefaultConfig()
 	cfg.Populations = *pops
 	cfg.Workers = *workers

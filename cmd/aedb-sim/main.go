@@ -77,9 +77,9 @@ func main() {
 		*protocol, *density, nodes, *seed, net.MaxRange())
 	fmt.Printf("params: %+v\n\n", params)
 
-	for id, t := range st.FirstRx {
+	st.EachFirstRx(func(id int, t float64) {
 		trace = append(trace, traceEvent{t, "RX", id, "first copy"})
-	}
+	})
 	sort.Slice(trace, func(i, j int) bool { return trace[i].t < trace[j].t })
 	fmt.Printf("dissemination trace (t=0 at broadcast start):\n")
 	for _, ev := range trace {

@@ -56,16 +56,21 @@
 // of PR 2 after its soak period):
 //
 //   - the beacon evolution of each committee scenario is recorded once
-//     into a manet.BeaconTape and shared by every simulation of that
-//     scenario, which then strips beacon events from its schedule
-//     entirely;
+//     PER PROCESS into a manet.BeaconTape — keyed by (config
+//     fingerprint, scenario seed, node count), so every Problem over the
+//     same scenario generator replays one recording, and smaller
+//     densities derive their tape from the largest-committee parent as a
+//     masked prefix (manet.BeaconTape.Mask) — and shared by every
+//     simulation of that scenario, which then strips beacon events from
+//     its schedule entirely (eval.WithSharedTapes /
+//     aedbmls.Config.UnsharedTapes / -unshared-tapes opts out);
 //   - each simulation stops at broadcast quiescence (no pending protocol
 //     timer, no data frame in flight) instead of running its
 //     protocol-independent tail;
-//   - instantiation buffers — node and RNG blocks, the O(N^2) neighbor
-//     index, the event heap, the spatial grid, neighbor tables — are
-//     recycled through manet.Arena instead of being reallocated per
-//     simulation;
+//   - instantiation buffers — node and RNG blocks, mobility-model
+//     state, the O(N^2) neighbor index, the event heap, the spatial
+//     grid, neighbor tables, first-reception buffers — are recycled
+//     through manet.Arena instead of being reallocated per simulation;
 //   - warm-up snapshots are shared across densities: the committee is
 //     frozen density-independently, one largest-committee warm-up is
 //     built per scenario seed and masked down per density

@@ -93,12 +93,12 @@ func TestProtocolInvariantsRandomised(t *testing.T) {
 		if bt < 0 || bt > cfg.EndTime-cfg.WarmupTime+1e-9 {
 			t.Fatalf("trial %d: broadcast time %v outside window", trial, bt)
 		}
-		for id, rt := range st.FirstRx {
+		st.EachFirstRx(func(id int, rt float64) {
 			if rt < st.SentAt || rt > cfg.EndTime {
 				t.Fatalf("trial %d: node %d reception at %v outside [%v, %v]",
 					trial, id, rt, st.SentAt, cfg.EndTime)
 			}
-		}
+		})
 
 		// (5): physical energy consistent (strictly positive iff any
 		// transmission happened).

@@ -55,6 +55,18 @@
 // configuration. WithSharedWarmups(false) opts out; masked and directly
 // built snapshots are bit-identical on every metric.
 //
+// # Process-wide beacon-tape sharing
+//
+// Beacon tapes get the same treatment: for share-eligible configurations
+// the tape of each committee scenario is recorded once per process at the
+// largest paper committee size (from the shared warm-up parent) and keyed
+// by (config fingerprint, scenario seed, node count), so concurrent and
+// sequential Problems over the same scenario generator replay one
+// recording, and each smaller density's tape is derived from the parent
+// as a masked prefix (manet.BeaconTape.Mask) instead of re-recorded.
+// WithSharedTapes(false) opts out; shared/masked and per-Problem-recorded
+// tapes are bit-identical on every metric.
+//
 // # Batched and committee-parallel evaluation
 //
 //   - EvaluateBatch (the moo.BatchProblem implementation) evaluates a
@@ -73,6 +85,7 @@
 package eval
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"runtime"
@@ -152,6 +165,7 @@ type Problem struct {
 	batchWorkers    int
 	referencePath   bool
 	sharedWarmups   bool
+	sharedTapes     bool
 	bufferReuse     bool
 	snaps           []warmSlot
 	tapes           []tapeSlot
@@ -222,7 +236,25 @@ func WithReferencePath(enabled bool) Option { return func(p *Problem) { p.refere
 // it down per density, so densities 100/200/300 of one seed share one
 // warm-up simulation per scenario. Disabled, every Problem builds its
 // own snapshots at its own node count. Both paths are bit-identical.
+//
+// The opt-out governs where THIS Problem's snapshots come from, not the
+// other process-wide caches: the shared tape cache records its parent
+// tapes from the shared warm-up cache regardless, so a caller bounding
+// process-wide memory should disable WithSharedTapes as well.
 func WithSharedWarmups(enabled bool) Option { return func(p *Problem) { p.sharedWarmups = enabled } }
+
+// WithSharedTapes toggles the process-wide beacon-tape cache (default
+// on): committee scenarios of share-eligible configurations record their
+// beacon tape once at the largest paper committee size — through the same
+// shared warm-up parent the snapshot cache uses — and every Problem with
+// the same (config fingerprint, scenario seed, node count) replays that
+// one recording, with smaller densities deriving their tape from the
+// parent as a masked prefix (manet.BeaconTape.Mask) instead of
+// re-recording. Disabled, every Problem records its own tapes from its
+// own snapshots. Masked/shared and locally recorded tapes are
+// bit-identical on every metric (FuzzTapeMask, the golden corpus and the
+// opt-out matrix hold them to that).
+func WithSharedTapes(enabled bool) Option { return func(p *Problem) { p.sharedTapes = enabled } }
 
 // WithBufferReuse toggles the instantiation arenas of the default engine
 // (default on): node/RNG blocks, the O(N^2) neighbor index, the event
@@ -250,6 +282,7 @@ func NewProblem(density int, seed uint64, opts ...Option) *Problem {
 		density:       density,
 		warmStart:     true,
 		sharedWarmups: true,
+		sharedTapes:   true,
 		bufferReuse:   true,
 	}
 	for _, o := range opts {
@@ -526,6 +559,11 @@ var (
 // snapshots.
 const maxSharedWarmups = 512
 
+// errSharedCacheFull marks a transient capacity refusal of one of the
+// process-wide caches — a property of the moment, not of the key, so it
+// must never be memoized into a cache slot.
+var errSharedCacheFull = fmt.Errorf("eval: shared cache full")
+
 // sharedWarmup returns (building once per process) the parent warm-up
 // snapshot for a scenario seed under an eligible configuration.
 func sharedWarmup(key sharedCfgKey, cfg manet.Config, seed uint64) (*manet.Snapshot, error) {
@@ -533,7 +571,7 @@ func sharedWarmup(key sharedCfgKey, cfg manet.Config, seed uint64) (*manet.Snaps
 	slotAny, ok := sharedWarmupCache.Load(k)
 	if !ok {
 		if sharedWarmupCount.Load() >= maxSharedWarmups {
-			return nil, fmt.Errorf("eval: shared warm-up cache full")
+			return nil, errSharedCacheFull
 		}
 		var loaded bool
 		slotAny, loaded = sharedWarmupCache.LoadOrStore(k, &sharedWarmupSlot{})
@@ -550,6 +588,86 @@ func sharedWarmup(key sharedCfgKey, cfg manet.Config, seed uint64) (*manet.Snaps
 		slot.snap, slot.err = manet.BuildSnapshot(pcfg, seed, pcfg.WarmupTime)
 	})
 	return slot.snap, slot.err
+}
+
+// tapeKey identifies one shared beacon-tape recording: the scenario
+// fingerprint of the warm-up cache plus the node count the tape serves.
+// The maskParentNodes entry is the actual recording; smaller node counts
+// are masked prefixes derived from it.
+type tapeKey struct {
+	cfg   sharedCfgKey
+	seed  uint64
+	nodes int
+}
+
+// sharedTapeSlot lazily holds one shared tape (parent recording or masked
+// child).
+type sharedTapeSlot struct {
+	once sync.Once
+	tape *manet.BeaconTape
+	err  error
+}
+
+// sharedTapeCache caches beacon tapes process-wide: one entry per
+// (eligible config, scenario seed, node count). Like the warm-up cache it
+// is capped; past the cap new scenarios record locally (correct, just
+// unshared).
+var (
+	sharedTapeCache sync.Map
+	sharedTapeCount atomic.Int64
+)
+
+// maxSharedTapes bounds the tape cache. Each (config, seed) pair holds at
+// most one parent recording plus one masked child per in-use density, so
+// the cap covers the same working set maxSharedWarmups does.
+const maxSharedTapes = 1024
+
+// sharedTape returns (building once per process) the beacon tape for a
+// scenario seed under an eligible configuration at the given node count.
+// The parent entry (nodes == maskParentNodes) records from the shared
+// warm-up snapshot; smaller entries mask the parent down, so N Problems
+// across any mix of densities share one recording per scenario.
+func sharedTape(key sharedCfgKey, cfg manet.Config, seed uint64, nodes int) (*manet.BeaconTape, error) {
+	k := tapeKey{cfg: key, seed: seed, nodes: nodes}
+	slotAny, ok := sharedTapeCache.Load(k)
+	if !ok {
+		if sharedTapeCount.Load() >= maxSharedTapes {
+			return nil, errSharedCacheFull
+		}
+		var loaded bool
+		slotAny, loaded = sharedTapeCache.LoadOrStore(k, &sharedTapeSlot{})
+		if !loaded {
+			sharedTapeCount.Add(1)
+		}
+	}
+	slot := slotAny.(*sharedTapeSlot)
+	slot.once.Do(func() {
+		if nodes == maskParentNodes {
+			parent, err := sharedWarmup(key, cfg, seed)
+			if err != nil {
+				slot.err = err
+			} else {
+				slot.tape, slot.err = parent.RecordBeaconTape(cfg.EndTime)
+			}
+		} else {
+			parent, err := sharedTape(key, cfg, seed, maskParentNodes)
+			if err != nil {
+				slot.err = err
+			} else {
+				slot.tape, slot.err = parent.Mask(nodes)
+			}
+		}
+		if errors.Is(slot.err, errSharedCacheFull) {
+			// A dependency hit a cache cap: the refusal is transient, so
+			// release this slot instead of memoizing the error into one of
+			// the capped entries (goroutines already holding the slot see
+			// the error and record locally; a later Problem retries with a
+			// fresh slot).
+			sharedTapeCache.Delete(k)
+			sharedTapeCount.Add(-1)
+		}
+	})
+	return slot.tape, slot.err
 }
 
 // WarmStartError reports why warm-start evaluation is degraded, if it is:
@@ -743,15 +861,28 @@ func (p *Problem) batchWave(factories []func(*manet.Node) manet.Protocol, i int,
 	p.putArena(arena)
 }
 
-// tapeFor lazily records (once, thread-safely) the beacon tape of
-// committee scenario i. A nil result (frame-level beacons cannot be
-// taped) sends the caller down the plain snapshot path.
+// tapeFor lazily resolves (once, thread-safely) the beacon tape of
+// committee scenario i: through the process-wide shared cache when the
+// configuration is eligible — sharing the recording (and, across
+// densities, the masked derivation) with every other Problem of the same
+// scenario fingerprint — and by recording from the Problem's own snapshot
+// otherwise, or on any sharing failure (sharing is an optimisation, never
+// a correctness gate). A nil result (frame-level beacons cannot be taped)
+// sends the caller down the plain snapshot path.
 func (p *Problem) tapeFor(i int, snap *manet.Snapshot) *manet.BeaconTape {
 	if !p.cfg.FastBeacons {
 		return nil
 	}
 	slot := &p.tapes[i]
 	slot.once.Do(func() {
+		if p.sharedTapes && !p.referencePath && p.cfg.NumNodes <= maskParentNodes {
+			if key, ok := sharedCfgKeyOf(p.cfg); ok {
+				if tape, err := sharedTape(key, p.cfg, p.scenarios[i].seed, p.cfg.NumNodes); err == nil {
+					slot.tape = tape
+					return
+				}
+			}
+		}
 		slot.tape, _ = snap.RecordBeaconTape(p.cfg.EndTime)
 	})
 	return slot.tape

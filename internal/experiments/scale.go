@@ -49,6 +49,12 @@ type Scale struct {
 	// Metrics are bit-identical; paper-reproduction runs may set it to
 	// soak the equivalence contract at scale.
 	ReferencePath bool
+	// UnsharedTapes opts every problem of this scale out of the
+	// process-wide beacon-tape cache (eval.WithSharedTapes): each
+	// per-density problem then records its own committee tapes instead of
+	// sharing one recording per scenario across the density sweep.
+	// Metrics are bit-identical either way.
+	UnsharedTapes bool
 	// Seed is the base seed; run r of algorithm a uses
 	// Seed + 1000*r + a, and the network committee uses Seed directly.
 	Seed uint64
@@ -140,6 +146,9 @@ func (s Scale) EvalOptions() []eval.Option {
 	}
 	if s.ReferencePath {
 		opts = append(opts, eval.WithReferencePath(true))
+	}
+	if s.UnsharedTapes {
+		opts = append(opts, eval.WithSharedTapes(false))
 	}
 	return opts
 }

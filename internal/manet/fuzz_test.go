@@ -14,14 +14,14 @@ func assertSameBroadcast(t *testing.T, label string, wantSt *BroadcastStats, wan
 		gotSt.TxEnergyMJ != wantSt.TxEnergyMJ || gotSt.LastRx != wantSt.LastRx {
 		t.Fatalf("%s: stats diverged:\nwant %+v\ngot  %+v", label, wantSt, gotSt)
 	}
-	if len(gotSt.FirstRx) != len(wantSt.FirstRx) {
-		t.Fatalf("%s: coverage %d != %d", label, len(gotSt.FirstRx), len(wantSt.FirstRx))
+	if gotSt.Coverage() != wantSt.Coverage() {
+		t.Fatalf("%s: coverage %d != %d", label, gotSt.Coverage(), wantSt.Coverage())
 	}
-	for id, at := range wantSt.FirstRx {
-		if got, ok := gotSt.FirstRx[id]; !ok || got != at {
+	wantSt.EachFirstRx(func(id int, at float64) {
+		if got, ok := gotSt.FirstRxAt(id); !ok || got != at {
 			t.Fatalf("%s: node %d first reception %v != %v", label, id, got, at)
 		}
-	}
+	})
 	if gotNet.Collisions != wantNet.Collisions {
 		t.Fatalf("%s: collisions %d != %d", label, gotNet.Collisions, wantNet.Collisions)
 	}

@@ -376,8 +376,11 @@ type Network struct {
 	tapeCur []int32
 	tapeRec *BeaconTape
 
-	stats     map[int]*BroadcastStats
-	nextMsgID int
+	stats map[int]*BroadcastStats
+	// firstRxPool recycles BroadcastStats first-reception buffers across
+	// arena instantiations (harvested when the stats map is cleared).
+	firstRxPool [][]float64
+	nextMsgID   int
 	// Collisions counts data-frame receptions lost to interference or
 	// half-duplex conflicts.
 	Collisions int
@@ -388,8 +391,13 @@ type BroadcastStats struct {
 	MessageID int
 	Source    int
 	SentAt    float64
-	// FirstRx maps node ID to the first successful reception time.
-	FirstRx map[int]float64
+	// firstRx is the node-indexed first successful reception time (NaN =
+	// never received); covered counts its non-NaN entries. A slice keyed
+	// by the (known) network size replaces the map the data cascade used
+	// to allocate per candidate: the buffer is recycled through the
+	// owning network across arena instantiations.
+	firstRx []float64
+	covered int
 	// Forwards counts data transmissions by non-source nodes.
 	Forwards int
 	// SourceSends counts data transmissions by the source.
@@ -405,12 +413,35 @@ type BroadcastStats struct {
 
 // Coverage returns the number of devices (excluding the source) that
 // received the message.
-func (b *BroadcastStats) Coverage() int { return len(b.FirstRx) }
+func (b *BroadcastStats) Coverage() int { return b.covered }
+
+// FirstRxAt returns a node's first successful reception time and whether
+// the node received the message at all.
+func (b *BroadcastStats) FirstRxAt(node int) (float64, bool) {
+	if node < 0 || node >= len(b.firstRx) {
+		return 0, false
+	}
+	at := b.firstRx[node]
+	if math.IsNaN(at) {
+		return 0, false
+	}
+	return at, true
+}
+
+// EachFirstRx calls fn for every node that received the message, in
+// ascending node-ID order with its first reception time.
+func (b *BroadcastStats) EachFirstRx(fn func(node int, at float64)) {
+	for id, at := range b.firstRx {
+		if !math.IsNaN(at) {
+			fn(id, at)
+		}
+	}
+}
 
 // BroadcastTime returns the dissemination duration: last first-reception
 // minus send time; zero if nobody received the message.
 func (b *BroadcastStats) BroadcastTime() float64 {
-	if len(b.FirstRx) == 0 {
+	if b.covered == 0 {
 		return 0
 	}
 	return b.LastRx - b.SentAt
@@ -643,7 +674,7 @@ func (net *Network) StartBroadcast(source int, t float64) *BroadcastStats {
 // ordered ahead of same-time pending events (front).
 func (net *Network) startBroadcast(source int, t float64, front bool) *BroadcastStats {
 	msg := net.NewMessage(source)
-	st := &BroadcastStats{MessageID: msg.ID, Source: source, SentAt: t, FirstRx: make(map[int]float64)}
+	st := &BroadcastStats{MessageID: msg.ID, Source: source, SentAt: t, firstRx: net.newFirstRx()}
 	net.stats[msg.ID] = st
 	fn := func() { net.originate(source, msg) }
 	if front {
@@ -652,6 +683,41 @@ func (net *Network) startBroadcast(source int, t float64, front bool) *Broadcast
 		net.Sim.At(t, fn)
 	}
 	return st
+}
+
+// newFirstRx takes a first-reception buffer from the network's recycling
+// pool (or allocates one), sized to the current node count and reset to
+// all-NaN.
+func (net *Network) newFirstRx() []float64 {
+	nn := len(net.Nodes)
+	var buf []float64
+	if k := len(net.firstRxPool); k > 0 {
+		buf = net.firstRxPool[k-1]
+		net.firstRxPool = net.firstRxPool[:k-1]
+	}
+	if cap(buf) < nn {
+		buf = make([]float64, nn)
+	}
+	buf = buf[:nn]
+	nan := math.NaN()
+	for i := range buf {
+		buf[i] = nan
+	}
+	return buf
+}
+
+// recycleStats harvests the first-reception buffers of every finished
+// stats collector so the next instantiation through the same buffers
+// reuses them; the collectors themselves are invalidated by the caller
+// (which clears the stats map).
+func (net *Network) recycleStats() {
+	for _, st := range net.stats {
+		if st.firstRx != nil {
+			net.firstRxPool = append(net.firstRxPool, st.firstRx)
+			st.firstRx = nil
+			st.covered = 0
+		}
+	}
 }
 
 func (net *Network) originate(source int, msg *Message) {
@@ -806,8 +872,9 @@ func (net *Network) frameEnd(n *Node, ri int32) {
 		return
 	}
 	if st := net.stats[rec.msg.ID]; st != nil && n.ID != rec.msg.Origin {
-		if _, seen := st.FirstRx[n.ID]; !seen {
-			st.FirstRx[n.ID] = now
+		if math.IsNaN(st.firstRx[n.ID]) {
+			st.firstRx[n.ID] = now
+			st.covered++
 			if now > st.LastRx {
 				st.LastRx = now
 			}

@@ -324,7 +324,10 @@ func TestFirstRxRecordedOnce(t *testing.T) {
 	if len(recs[1].received) != 2 {
 		t.Fatalf("receptions = %d, want 2 (duplicate still delivered to protocol)", len(recs[1].received))
 	}
-	first := st.FirstRx[1]
+	first, ok := st.FirstRxAt(1)
+	if !ok {
+		t.Fatal("node 1 has no recorded first reception")
+	}
 	if first > 1.1 {
 		t.Fatalf("first reception time %v not from the first transmission", first)
 	}

@@ -172,6 +172,7 @@ type Arena struct {
 	nodes     []*Node
 	nodeBlock []Node
 	rngBlock  []rng.Rand
+	mobBlock  []mobility.Model
 	posBlock  []int32
 	netRng    rng.Rand
 }
@@ -191,6 +192,10 @@ func (s *Snapshot) instantiate(makeProto func(*Node) Protocol, source int, start
 	}
 	events := s.events
 	if tape != nil {
+		if len(tape.perNode) != len(s.nodes) {
+			panic(fmt.Sprintf("manet: tape recorded at %d nodes cannot replay into a %d-node snapshot (mask the tape to the snapshot size)",
+				len(tape.perNode), len(s.nodes)))
+		}
 		events = tape.events
 	}
 	nn := len(s.nodes)
@@ -204,6 +209,7 @@ func (s *Snapshot) instantiate(makeProto func(*Node) Protocol, source int, start
 	net.Cfg = s.cfg
 	a.netRng = *s.netRng
 	net.Rng = &a.netRng
+	net.recycleStats()
 	clear(net.stats)
 	net.nextMsgID = s.nextMsgID
 	net.Collisions = s.collision
@@ -227,13 +233,15 @@ func (s *Snapshot) instantiate(makeProto func(*Node) Protocol, source int, start
 	}
 	// Nodes, their RNG states and (when the network is small enough to
 	// afford them, see nbrIndexMaxNodes) ID-index tables come from block
-	// allocations instead of 3N small ones; only mobility clones and
-	// neighbor tables (which grow independently) stay per-node, and the
-	// arena recycles even those across instantiations.
+	// allocations instead of 3N small ones; mobility models and neighbor
+	// tables (which grow independently) stay per-node, but the arena
+	// recycles even those across instantiations (CloneInto and the
+	// harvested buffers below).
 	if len(a.nodeBlock) != nn {
 		a.nodes = make([]*Node, nn)
 		a.nodeBlock = make([]Node, nn)
 		a.rngBlock = make([]rng.Rand, nn)
+		a.mobBlock = make([]mobility.Model, nn)
 		a.posBlock = nil
 		if nn <= nbrIndexMaxNodes {
 			a.posBlock = make([]int32, nn*nn)
@@ -256,10 +264,15 @@ func (s *Snapshot) instantiate(makeProto func(*Node) Protocol, source int, start
 		}
 		outBuf := n.nbrOut[:0]
 		activeBuf := n.active[:0]
+		// Mobility state is copied into the arena's recycled model (a
+		// fresh clone on the first instantiation, or on a model-type
+		// change) instead of allocating a clone per candidate.
+		mob := ns.mob.CloneInto(a.mobBlock[i])
+		a.mobBlock[i] = mob
 		*n = Node{
 			ID:         i,
 			net:        net,
-			mob:        ns.mob.Clone(),
+			mob:        mob,
 			Rng:        &a.rngBlock[i],
 			neighbors:  append(nbrBuf, ns.neighbors...),
 			nbrOut:     outBuf,

@@ -86,14 +86,14 @@ func assertStatsIdentical(t *testing.T, name string, a, b *BroadcastStats, an, b
 	if a.BroadcastTime() != b.BroadcastTime() {
 		t.Errorf("%s: bt %v vs %v", name, a.BroadcastTime(), b.BroadcastTime())
 	}
-	if len(a.FirstRx) != len(b.FirstRx) {
-		t.Errorf("%s: FirstRx sizes %d vs %d", name, len(a.FirstRx), len(b.FirstRx))
+	if a.Coverage() != b.Coverage() {
+		t.Errorf("%s: FirstRx sizes %d vs %d", name, a.Coverage(), b.Coverage())
 	}
-	for id, ta := range a.FirstRx {
-		if tb, ok := b.FirstRx[id]; !ok || ta != tb {
+	a.EachFirstRx(func(id int, ta float64) {
+		if tb, ok := b.FirstRxAt(id); !ok || ta != tb {
 			t.Errorf("%s: FirstRx[%d] %v vs %v (ok=%v)", name, id, ta, tb, ok)
 		}
-	}
+	})
 	if an.Collisions != bn.Collisions {
 		t.Errorf("%s: collisions %d vs %d", name, an.Collisions, bn.Collisions)
 	}

@@ -48,6 +48,11 @@ type BeaconTape struct {
 // Until returns the end of the recorded interval.
 func (t *BeaconTape) Until() float64 { return t.until }
 
+// NumNodes returns the network size the tape was recorded at. A tape can
+// only replay into snapshots of exactly this size (see InstantiateReplay);
+// smaller scenarios derive their tape with Mask.
+func (t *BeaconTape) NumNodes() int { return len(t.perNode) }
+
 // Upserts returns the total number of recorded neighbor-table updates.
 func (t *BeaconTape) Upserts() int {
 	n := 0
@@ -82,13 +87,66 @@ func (s *Snapshot) RecordBeaconTape(until float64) (*BeaconTape, error) {
 	return tape, nil
 }
 
+// Mask derives the beacon tape of the k-node sub-network consisting of
+// nodes [0, k) — the cross-density tape sharing primitive, mirroring
+// Snapshot.Mask. By the same argument that makes a masked snapshot
+// bit-identical to a direct small-network build (nodes [0, k) of the
+// larger population ARE the k-node network of the same seed, and fast
+// beacons neither contend nor read protocol state), dropping the masked
+// senders' upserts from every surviving receiver's record (and the masked
+// nodes' pending events from the stripped schedule) leaves exactly the
+// tape RecordBeaconTape would produce from the k-node scenario: the same
+// upserts, in the same order, with the same timestamps and pre-converted
+// powers. FuzzTapeMask holds the two event-for-event identical.
+//
+// k must be in [1, NumNodes]; masking to the full size returns the tape
+// itself. The derived tape shares no mutable state with the parent and is
+// equally safe for concurrent replays.
+func (t *BeaconTape) Mask(k int) (*BeaconTape, error) {
+	if k < 1 || k > len(t.perNode) {
+		return nil, fmt.Errorf("manet: tape mask size %d outside [1, %d]", k, len(t.perNode))
+	}
+	if k == len(t.perNode) {
+		return t, nil
+	}
+	m := &BeaconTape{until: t.until, perNode: make([][]nbrRec, k)}
+	for _, ev := range t.events {
+		switch ev.Kind {
+		case evMobility:
+			if int(ev.A) < k {
+				m.events = append(m.events, ev)
+			}
+		default:
+			// A fast-beacon warm-up schedule holds only beacon (already
+			// stripped) and mobility events; anything else means the tape
+			// was recorded from a state this derivation cannot reason
+			// about.
+			return nil, fmt.Errorf("manet: cannot mask recorded event kind %d", ev.Kind)
+		}
+	}
+	for i := 0; i < k; i++ {
+		src := t.perNode[i]
+		rows := make([]nbrRec, 0, len(src))
+		for _, rec := range src {
+			if int(rec.id) < k {
+				rows = append(rows, rec)
+			}
+		}
+		m.perNode[i] = rows
+	}
+	return m, nil
+}
+
 // InstantiateReplay builds a network from the snapshot like Instantiate,
 // but strips every beacon event from the restored schedule and serves
-// neighbor tables from the tape (recorded from the same snapshot).
+// neighbor tables from the tape (recorded from the same snapshot, or
+// derived for the snapshot's size with Mask — the two are bit-identical).
 // Broadcast metrics are bit-identical to an Instantiate+Run of the same
 // (protocol, source); per-node frame and energy accounting excludes
 // beacon transmissions. The simulation must not run past the tape's
-// recorded interval.
+// recorded interval. A tape whose NumNodes does not match the snapshot
+// records a different scenario — replaying it would serve foreign
+// neighbor tables — so mismatched instantiation panics.
 func (s *Snapshot) InstantiateReplay(makeProto func(*Node) Protocol, source int, startAt float64, tape *BeaconTape) (*Network, *BroadcastStats) {
 	if tape == nil {
 		panic("manet: InstantiateReplay needs a tape")

@@ -111,6 +111,18 @@ func (g *GaussMarkov) Clone() Model {
 	return &c
 }
 
+// CloneInto implements Model.
+func (g *GaussMarkov) CloneInto(dst Model) Model {
+	d, ok := dst.(*GaussMarkov)
+	if !ok || d == nil {
+		return g.Clone()
+	}
+	r := reuseRng(d.rng, g.rng)
+	*d = *g
+	d.rng = r
+	return d
+}
+
 // MaxSpeed implements Model: the autoregressive speed process has
 // unbounded Gaussian noise, so no finite speed bound exists.
 func (g *GaussMarkov) MaxSpeed() float64 { return math.Inf(1) }

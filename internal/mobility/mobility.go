@@ -36,9 +36,28 @@ type Model interface {
 	// RNG stream: the clone replays exactly the trajectory the original
 	// would have produced. Snapshots use it to freeze mobility state.
 	Clone() Model
+	// CloneInto is Clone recycling dst's storage when dst is an instance
+	// of the same concrete type: the receiver's state (RNG stream
+	// included) is copied into dst, which is returned. Any other dst —
+	// nil included — falls back to a fresh Clone. The evaluation arena
+	// uses it to re-instantiate a snapshot's trajectories without one
+	// allocation per node per candidate.
+	CloneInto(dst Model) Model
 	// MaxSpeed returns an upper bound on the node speed in m/s, or +Inf
 	// when no bound is known (disables stale spatial-index queries).
 	MaxSpeed() float64
+}
+
+// reuseRng fills dst's recycled RNG storage (allocating only when dst is
+// nil) with a copy of src's stream — the shared piece of every
+// CloneInto: grab the destination's storage before the struct copy
+// overwrites the pointer, then restore it.
+func reuseRng(dst, src *rng.Rand) *rng.Rand {
+	if dst == nil {
+		dst = new(rng.Rand)
+	}
+	*dst = *src
+	return dst
 }
 
 // RandomWalk implements the random-walk (random direction) model of the
@@ -111,6 +130,18 @@ func (w *RandomWalk) Clone() Model {
 	return &c
 }
 
+// CloneInto implements Model.
+func (w *RandomWalk) CloneInto(dst Model) Model {
+	d, ok := dst.(*RandomWalk)
+	if !ok || d == nil {
+		return w.Clone()
+	}
+	r := reuseRng(d.rng, w.rng)
+	*d = *w
+	d.rng = r
+	return d
+}
+
 // MaxSpeed implements Model.
 func (w *RandomWalk) MaxSpeed() float64 { return w.SpeedMax }
 
@@ -177,6 +208,18 @@ func (w *RandomWaypoint) Clone() Model {
 	return &c
 }
 
+// CloneInto implements Model.
+func (w *RandomWaypoint) CloneInto(dst Model) Model {
+	d, ok := dst.(*RandomWaypoint)
+	if !ok || d == nil {
+		return w.Clone()
+	}
+	r := reuseRng(d.rng, w.rng)
+	*d = *w
+	d.rng = r
+	return d
+}
+
 // MaxSpeed implements Model.
 func (w *RandomWaypoint) MaxSpeed() float64 { return w.SpeedMax }
 
@@ -199,6 +242,16 @@ func (s *Static) Advance() {}
 func (s *Static) Clone() Model {
 	c := *s
 	return &c
+}
+
+// CloneInto implements Model.
+func (s *Static) CloneInto(dst Model) Model {
+	d, ok := dst.(*Static)
+	if !ok || d == nil {
+		return s.Clone()
+	}
+	*d = *s
+	return d
 }
 
 // MaxSpeed implements Model.

@@ -2,38 +2,42 @@
 # bench.sh — capture the evaluation-engine perf trajectory.
 #
 # Default mode runs the evaluation-engine benchmarks (serial,
-# committee-parallel, batched, plus the from-scratch simulation) with
-# -benchmem and writes a JSON summary (ns/op, B/op, allocs/op per
-# density) so future PRs can compare against the recorded baseline.
+# committee-parallel, batched, reference-engine, multi-problem sweep,
+# plus the from-scratch simulation) with -benchmem and writes a JSON
+# summary (ns/op, B/op, allocs/op per density/variant) so future PRs can
+# compare against the recorded baseline.
 #
 # Usage: scripts/bench.sh [output.json] [benchtime]
 #
 # Smoke mode (CI regression gate):
 #
-#	scripts/bench.sh --smoke [baseline.json]
+#	scripts/bench.sh --smoke [min_ratio_pct]
 #
-# runs the density-300 batch benchmark once (-benchtime=3x, one process —
-# the same command the committed smoke_baseline_ns was recorded with) and
-# fails when the measured ns/op regresses more than 25% against the
-# baseline JSON (default BENCH_PR3.json).
+# runs the density-300 batch benchmark through BOTH engines in one
+# process — the default fast engine and the full-tail reference engine —
+# and fails when reference/fast falls below min_ratio_pct (default 150,
+# i.e. the fast engine must stay at least 1.5x ahead). The paired ratio
+# replaces the old absolute ns/op baseline: both arms run on the same
+# runner at the same moment, so the gate is robust to machine speed while
+# still catching the failure it exists for — the default path silently
+# degrading towards (or past) reference-engine cost.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [ "${1:-}" = "--smoke" ]; then
-  BASELINE="${2:-BENCH_PR3.json}"
-  BENCH="BenchmarkEvaluateBatch/300"
-  RAW="$(go test -run '^$' -bench "$BENCH" -benchtime=3x . 2>&1)"
+  MIN_RATIO_PCT="${2:-150}"
+  RAW="$(go test -run '^$' -bench 'BenchmarkEvaluateBatch(Reference)?/300' -benchtime=3x . 2>&1)"
   echo "$RAW"
-  NOW="$(echo "$RAW" | awk '$1 ~ /^BenchmarkEvaluateBatch\/300/ {print $3; exit}')"
-  BASE="$(grep -o "\"$BENCH\": *[0-9]*" "$BASELINE" | grep -o '[0-9]*$' || true)"
-  if [ -z "${NOW:-}" ] || [ -z "${BASE:-}" ]; then
-    echo "smoke: missing measurement (${NOW:-none}) or baseline (${BASE:-none}) for $BENCH" >&2
+  FAST="$(echo "$RAW" | awk '$1 ~ /^BenchmarkEvaluateBatch\/300/ {print $3; exit}')"
+  REF="$(echo "$RAW" | awk '$1 ~ /^BenchmarkEvaluateBatchReference\/300/ {print $3; exit}')"
+  if [ -z "${FAST:-}" ] || [ -z "${REF:-}" ]; then
+    echo "smoke: missing measurement (fast=${FAST:-none}, reference=${REF:-none})" >&2
     exit 1
   fi
-  LIMIT=$((BASE + BASE / 4))
-  echo "smoke: $BENCH ${NOW} ns/op vs baseline ${BASE} ns/op (fail above ${LIMIT})"
-  if [ "$NOW" -gt "$LIMIT" ]; then
-    echo "smoke: >25% regression against $BASELINE" >&2
+  RATIO_PCT=$((REF * 100 / FAST))
+  echo "smoke: fast ${FAST} ns/op vs reference ${REF} ns/op -> ${RATIO_PCT}% (fail below ${MIN_RATIO_PCT}%)"
+  if [ "$RATIO_PCT" -lt "$MIN_RATIO_PCT" ]; then
+    echo "smoke: fast engine no longer holds a ${MIN_RATIO_PCT}% lead over the reference engine" >&2
     exit 1
   fi
   exit 0
@@ -42,7 +46,7 @@ fi
 OUT="${1:-BENCH.json}"
 BENCHTIME="${2:-20x}"
 
-RAW="$(go test -run '^$' -bench 'BenchmarkEvaluation|BenchmarkEvaluateBatch|BenchmarkEvaluateSerial64|BenchmarkTableII_Simulation' \
+RAW="$(go test -run '^$' -bench 'BenchmarkEvaluation|BenchmarkEvaluateBatch|BenchmarkEvaluateSerial64|BenchmarkMultiProblemSweep|BenchmarkTableII_Simulation' \
   -benchmem -benchtime="$BENCHTIME" . 2>&1)"
 echo "$RAW"
 
@@ -52,8 +56,13 @@ echo "$RAW" | awk -v benchtime="$BENCHTIME" '
     name = $1
     sub(/-[0-9]+$/, "", name)
     split(name, parts, "/")
-    lines[n++] = sprintf("  {\"benchmark\": \"%s\", \"density\": %s, \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
-      parts[1], parts[2], $2, $3, $5, $7)
+    variant = parts[2]
+    if (variant ~ /^[0-9]+$/)
+      axis = "\"density\": " variant
+    else
+      axis = "\"density\": null, \"variant\": \"" variant "\""
+    lines[n++] = sprintf("  {\"benchmark\": \"%s\", %s, \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+      parts[1], axis, $2, $3, $5, $7)
   }
   END {
     print "{"
