@@ -56,6 +56,14 @@ type Config struct {
 	// bit-identical either way; the opt-out exists for cache-pressure
 	// control and as the comparison arm of the sharing tests.
 	UnsharedTapes bool
+	// ExactPhysics evaluates every reception power through the reference
+	// per-call path-loss physics (eval.WithExactPhysics) instead of the
+	// default fused d2-space kernel. The arms agree within a ULP-scaled
+	// bound per reception power and on every discrete metric; the
+	// continuous energy sums differ in the last bits, so runs that must
+	// extend previously recorded reference-physics results bit-for-bit
+	// set this and pay the per-candidate square root back.
+	ExactPhysics bool
 	// Deterministic selects the bit-reproducible round-robin execution
 	// instead of the threaded one.
 	Deterministic bool
@@ -129,6 +137,9 @@ func Tune(cfg Config) (*Result, error) {
 	}
 	if cfg.UnsharedTapes {
 		opts = append(opts, eval.WithSharedTapes(false))
+	}
+	if cfg.ExactPhysics {
+		opts = append(opts, eval.WithExactPhysics(true))
 	}
 	problem := eval.NewProblem(cfg.Density, cfg.Seed, opts...)
 

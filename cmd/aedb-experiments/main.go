@@ -4,7 +4,7 @@
 // Usage:
 //
 //	aedb-experiments [-scale tiny|small|paper] [-out dir] [-scenario-workers 1] [-reference-path] [-unshared-tapes]
-//	                 [-only fig2,tab1,fig6,fig7,tab4,timing,config,ablation,memetic,beacons,mobility,spea2]
+//	                 [-exact-physics] [-only fig2,tab1,fig6,fig7,tab4,timing,config,ablation,memetic,beacons,mobility,spea2]
 //
 // The default small scale keeps all structural ratios of the paper
 // (30-run protocol shrunk to 5, AEDB-MLS at 2.4x the MOEA budget) and
@@ -21,12 +21,17 @@ import (
 	"time"
 
 	"aedbmls/internal/aedb"
+	"aedbmls/internal/cliutil"
 	"aedbmls/internal/experiments"
 	"aedbmls/internal/moo"
 	"aedbmls/internal/report"
 )
 
 func main() {
+	cliutil.SetUsage("aedb-experiments",
+		"Regenerate the paper's tables and figures (Fig. 2, Table I, Fig. 6/7,\n"+
+			"Table IV, the timing comparison, the Sect. V configuration analysis and\n"+
+			"the ablations) at tiny/small/paper scale; see DESIGN.md for the index.")
 	scaleName := flag.String("scale", "small", "experimental scale: tiny, small or paper")
 	only := flag.String("only", "", "comma-separated subset of experiments (default: all)")
 	seed := flag.Uint64("seed", 0, "override the base seed (0 keeps the scale default)")
@@ -34,6 +39,7 @@ func main() {
 	scenarioWorkers := flag.Int("scenario-workers", 1, "goroutines per evaluation committee (results are bit-identical for any value)")
 	referencePath := flag.Bool("reference-path", false, "evaluate through the full-tail reference engine (bit-identical metrics, slower)")
 	unsharedTapes := flag.Bool("unshared-tapes", false, "record beacon tapes per problem instead of sharing the process-wide cache (bit-identical metrics)")
+	exactPhysics := flag.Bool("exact-physics", false, "reference per-call path-loss physics instead of the fused d2-space kernel (paper-exact energy bits, slower)")
 	flag.Parse()
 
 	sc, err := experiments.ScaleByName(*scaleName)
@@ -46,6 +52,7 @@ func main() {
 	sc.ScenarioWorkers = *scenarioWorkers
 	sc.ReferencePath = *referencePath
 	sc.UnsharedTapes = *unsharedTapes
+	sc.ExactPhysics = *exactPhysics
 	want := map[string]bool{}
 	if *only != "" {
 		for _, k := range strings.Split(*only, ",") {

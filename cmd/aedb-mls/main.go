@@ -6,7 +6,7 @@
 //	aedb-mls [-density 100] [-seed 1] [-pops 8] [-workers 12]
 //	         [-evals 250] [-reset 50] [-alpha 0.2] [-committee 10]
 //	         [-neighborhood 1] [-scenario-workers 1] [-reference-path]
-//	         [-unshared-tapes]
+//	         [-unshared-tapes] [-exact-physics]
 package main
 
 import (
@@ -16,12 +16,18 @@ import (
 	"time"
 
 	"aedbmls/internal/aedb"
+	"aedbmls/internal/cliutil"
 	"aedbmls/internal/core"
 	"aedbmls/internal/eval"
 	"aedbmls/internal/textplot"
 )
 
 func main() {
+	cliutil.SetUsage("aedb-mls",
+		"Tune the AEDB protocol with the paper's parallel multi-objective local\n"+
+			"search (AEDB-MLS, Sect. IV) and print the Pareto front of protocol\n"+
+			"configurations for one density. Same-seed parallel runs legitimately\n"+
+			"differ (workers race on the shared archive, as in the paper).")
 	density := flag.Int("density", 100, "network density in devices/km^2")
 	seed := flag.Uint64("seed", 1, "random seed")
 	pops := flag.Int("pops", 4, "distributed populations (paper: 8)")
@@ -34,11 +40,13 @@ func main() {
 	scenarioWorkers := flag.Int("scenario-workers", 1, "goroutines per evaluation committee (1 = serial committee)")
 	referencePath := flag.Bool("reference-path", false, "evaluate through the full-tail reference engine (bit-identical metrics, slower)")
 	unsharedTapes := flag.Bool("unshared-tapes", false, "record beacon tapes per problem instead of sharing the process-wide cache (bit-identical metrics)")
+	exactPhysics := flag.Bool("exact-physics", false, "reference per-call path-loss physics instead of the fused d2-space kernel (paper-exact energy bits, slower)")
 	flag.Parse()
 
 	problem := eval.NewProblem(*density, *seed,
 		eval.WithCommittee(*committee), eval.WithScenarioWorkers(*scenarioWorkers),
-		eval.WithReferencePath(*referencePath), eval.WithSharedTapes(!*unsharedTapes))
+		eval.WithReferencePath(*referencePath), eval.WithSharedTapes(!*unsharedTapes),
+		eval.WithExactPhysics(*exactPhysics))
 	cfg := core.DefaultConfig()
 	cfg.Populations = *pops
 	cfg.Workers = *workers

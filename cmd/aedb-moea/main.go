@@ -15,6 +15,7 @@ import (
 
 	"aedbmls/internal/aedb"
 	"aedbmls/internal/cellde"
+	"aedbmls/internal/cliutil"
 	"aedbmls/internal/core"
 	"aedbmls/internal/eval"
 	"aedbmls/internal/moo"
@@ -23,6 +24,10 @@ import (
 )
 
 func main() {
+	cliutil.SetUsage("aedb-moea",
+		"Tune the AEDB protocol with one of the paper's reference MOEAs (NSGA-II,\n"+
+			"CellDE) or the future-work memetic hybrid, and print the Pareto front —\n"+
+			"the comparison arms of Fig. 6 / Table IV.")
 	alg := flag.String("alg", "nsga2", "algorithm: nsga2, cellde or cellde-mls (memetic hybrid)")
 	density := flag.Int("density", 100, "network density in devices/km^2")
 	seed := flag.Uint64("seed", 1, "random seed")

@@ -12,10 +12,14 @@ import (
 	"log"
 	"os"
 
+	"aedbmls/internal/cliutil"
 	"aedbmls/internal/experiments"
 )
 
 func main() {
+	cliutil.SetUsage("aedb-sensitivity",
+		"Run the paper's Fast99 extended-FAST sensitivity analysis (Sect. III-B)\n"+
+			"and print Fig. 2 and Table I for the chosen density.")
 	density := flag.Int("density", 300, "network density in devices/km^2 (the paper's Fig. 2 uses 300)")
 	n := flag.Int("n", 129, "Fast99 samples per factor (paper scale: 1000; must be >= 65)")
 	committee := flag.Int("committee", 10, "frozen networks per evaluation")

@@ -5,6 +5,7 @@
 //
 //	aedb-sim [-density 100] [-seed 1] [-min-delay 0.1] [-max-delay 0.5]
 //	         [-border -80] [-margin 1] [-neighbors 10] [-protocol aedb]
+//	         [-exact-physics]
 package main
 
 import (
@@ -15,11 +16,16 @@ import (
 	"sort"
 
 	"aedbmls/internal/aedb"
+	"aedbmls/internal/cliutil"
 	"aedbmls/internal/eval"
 	"aedbmls/internal/manet"
 )
 
 func main() {
+	cliutil.SetUsage("aedb-sim",
+		"Simulate one AEDB (or baseline) broadcast on a Table II network and print\n"+
+			"the dissemination trace plus the four paper metrics (the E1 substrate).\n"+
+			"Output is bit-reproducible per seed.")
 	density := flag.Int("density", 100, "network density in devices/km^2 (100/200/300 in the paper)")
 	seed := flag.Uint64("seed", 1, "network seed")
 	minDelay := flag.Float64("min-delay", 0.1, "AEDB minimum delay (s)")
@@ -28,6 +34,7 @@ func main() {
 	margin := flag.Float64("margin", 1, "AEDB margin threshold (dBm)")
 	neighbors := flag.Float64("neighbors", 10, "AEDB neighbors threshold (devices)")
 	protocol := flag.String("protocol", "aedb", "protocol: aedb, flooding or distance")
+	exactPhysics := flag.Bool("exact-physics", false, "reference per-call path-loss physics instead of the fused d2-space kernel (paper-exact energy bits, slower)")
 	flag.Parse()
 
 	nodes, ok := eval.DensityNodes[*density]
@@ -35,6 +42,7 @@ func main() {
 		nodes = manet.NodesForDensity(manet.DefaultScenario(1).Area, float64(*density))
 	}
 	cfg := manet.DefaultScenario(nodes)
+	cfg.ExactPhysics = *exactPhysics
 
 	params := aedb.Params{
 		MinDelay: *minDelay, MaxDelay: *maxDelay,

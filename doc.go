@@ -74,7 +74,12 @@
 //   - warm-up snapshots are shared across densities: the committee is
 //     frozen density-independently, one largest-committee warm-up is
 //     built per scenario seed and masked down per density
-//     (manet.Snapshot.Mask).
+//     (manet.Snapshot.Mask);
+//   - the data cascade's path-loss physics runs through a fused
+//     d2-space kernel (radio.Kernel): reception powers computed
+//     directly from squared distances — no square root, no interface
+//     dispatch, whole candidate slices per call — with the sensitivity
+//     cutoff precomputed as a d2-space threshold.
 //
 // eval.WithReferencePath(true) (aedbmls.Config.ReferencePath,
 // experiments.Scale.ReferencePath, the CLIs' -reference-path flag) opts
@@ -84,6 +89,16 @@
 // (internal/eval/testdata/golden_metrics.json), equivalence tables,
 // property and fuzz tests (manet.FuzzSnapshotRoundTrip), and e2e Tune
 // determinism tests, plus a -race CI job.
+//
+// eval.WithExactPhysics(true) (aedbmls.Config.ExactPhysics,
+// experiments.Scale.ExactPhysics, the CLIs' -exact-physics flag) is the
+// physics exactness gate: it swaps the fused kernel for the reference
+// per-call path-loss evaluation. The two physics arms agree within a
+// ULP-scaled bound per reception power (radio.FuzzKernelVsReference)
+// and exactly on every discrete metric; the continuous energy sums
+// differ in the last mantissa bits, so the golden corpus records both
+// arms and the shared caches fingerprint the flag. See ARCHITECTURE.md
+// for the full caching-layer and knob guide.
 //
 // EvaluateBatch additionally evaluates whole candidate sets
 // scenario-major — one arena-backed wave per committee scenario streams

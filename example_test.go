@@ -1,0 +1,54 @@
+package aedbmls_test
+
+import (
+	"fmt"
+
+	"aedbmls"
+)
+
+// ExampleTune runs a miniature AEDB-MLS tuning session for the paper's
+// lowest density. The deterministic round-robin execution makes the run
+// reproducible; real runs drop Deterministic and raise the budgets to
+// the paper's 8 populations x 12 workers x 250 evaluations. Evaluations
+// flow through the shared process-wide caches (warm-up snapshots and
+// beacon tapes) by default, so repeated Tune calls in one process reuse
+// each scenario's warm-up work; see ARCHITECTURE.md for the knobs.
+func ExampleTune() {
+	res, err := aedbmls.Tune(aedbmls.Config{
+		Density:        100,
+		Seed:           1,
+		Populations:    2,
+		Workers:        2,
+		EvalsPerWorker: 10,
+		Committee:      2,
+		Deterministic:  true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	best := res.Configs[0] // ordered by ascending energy
+	fmt.Println("front non-empty:", len(res.Configs) > 0)
+	fmt.Println("best config satisfies bt < 2s:", best.BroadcastTime < 2)
+	fmt.Println("evaluations spent:", res.Evaluations)
+	// Output:
+	// front non-empty: true
+	// best config satisfies bt < 2s: true
+	// evaluations spent: 40
+}
+
+// ExampleSimulate checks one hand-written protocol configuration against
+// the frozen evaluation committee without optimising.
+func ExampleSimulate() {
+	pc, err := aedbmls.Simulate(100, 1, aedbmls.ProtocolConfig{
+		MinDelay: 0.1, MaxDelay: 0.5,
+		BorderThresholdDBm: -80, MarginDBm: 1, NeighborsThreshold: 10,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("coverage positive:", pc.Coverage > 0)
+	fmt.Println("constraint satisfied:", pc.BroadcastTime < 2)
+	// Output:
+	// coverage positive: true
+	// constraint satisfied: true
+}

@@ -184,9 +184,20 @@ func (st *msgState) addHeard(id int) {
 
 // Protocol is one node's AEDB instance.
 type Protocol struct {
-	P      Params
-	node   *manet.Node
-	states map[int]*msgState
+	P    Params
+	node *manet.Node
+
+	// first holds the per-message state of the first message this node
+	// observed, inline: an evaluation broadcast disseminates exactly one
+	// message, so the common case allocates neither a map nor a state
+	// object per node per simulation (the evaluation engine creates one
+	// Protocol per node per candidate — at 75 nodes and thousands of
+	// candidates, the map dominated the allocation profile). Additional
+	// messages of multi-broadcast simulations spill into overflow.
+	first     msgState
+	firstID   int
+	firstUsed bool
+	overflow  map[int]*msgState
 
 	// Forwards counts data transmissions triggered by the timer path.
 	Forwards int
@@ -200,8 +211,42 @@ var _ manet.Protocol = (*Protocol)(nil)
 // New returns a protocol factory for manet.New.
 func New(p Params) func(*manet.Node) manet.Protocol {
 	return func(*manet.Node) manet.Protocol {
-		return &Protocol{P: p, states: make(map[int]*msgState)}
+		return &Protocol{P: p}
 	}
+}
+
+// state returns the message state for id, or nil if the node has not
+// observed the message yet. The overflow map wins over the inline slot:
+// re-registering an already-observed ID (Originate after a reception of
+// the same message) must shadow the older state, exactly as the map
+// overwrite of the pre-inline implementation did.
+func (a *Protocol) state(id int) *msgState {
+	if a.overflow != nil {
+		if st := a.overflow[id]; st != nil {
+			return st
+		}
+	}
+	if a.firstUsed && a.firstID == id {
+		return &a.first
+	}
+	return nil
+}
+
+// newState registers a fresh (zero) state for id and returns it: inline
+// for the node's first message, via the overflow map afterwards.
+func (a *Protocol) newState(id int) *msgState {
+	if !a.firstUsed {
+		a.firstUsed = true
+		a.firstID = id
+		a.first = msgState{heardFrom: a.first.heardFrom[:0]}
+		return &a.first
+	}
+	if a.overflow == nil {
+		a.overflow = make(map[int]*msgState)
+	}
+	st := &msgState{}
+	a.overflow[id] = st
+	return st
 }
 
 // Init implements manet.Protocol.
@@ -210,18 +255,19 @@ func (a *Protocol) Init(n *manet.Node) { a.node = n }
 // Originate implements manet.Protocol: the source transmits at the default
 // power (it has no reception information to adapt with).
 func (a *Protocol) Originate(msg *manet.Message) {
-	a.states[msg.ID] = &msgState{done: true}
+	a.newState(msg.ID).done = true
 	a.node.Network().TransmitData(a.node, msg, a.node.Network().Cfg.DefaultTxPowerDBm)
 }
 
 // OnData implements manet.Protocol; it is the reception half of Fig. 1
 // (lines 1-15).
 func (a *Protocol) OnData(msg *manet.Message, from int, rxPowerDBm float64) {
-	st := a.states[msg.ID]
+	st := a.state(msg.ID)
 	if st == nil {
 		// First reception (lines 1-9).
-		st = &msgState{pbest: rxPowerDBm, heardFrom: []int32{int32(from)}}
-		a.states[msg.ID] = st
+		st = a.newState(msg.ID)
+		st.pbest = rxPowerDBm
+		st.addHeard(from)
 		if rxPowerDBm > a.P.BorderThresholdDBm {
 			// Too close to the sender: drop (lines 4-5).
 			st.done = true

@@ -106,7 +106,7 @@ func buildAEDBNet(t *testing.T, positions []geom.Vec2, params Params, seed uint6
 	}
 	protos := make([]*Protocol, len(positions))
 	net, err := manet.New(cfg, seed, func(n *manet.Node) manet.Protocol {
-		p := &Protocol{P: params, states: make(map[int]*msgState)}
+		p := &Protocol{P: params}
 		protos[n.ID] = p
 		return p
 	})

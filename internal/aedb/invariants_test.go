@@ -42,7 +42,7 @@ func TestProtocolInvariantsRandomised(t *testing.T) {
 		cfg := manet.DefaultScenario(nodes)
 		protos := make([]*Protocol, nodes)
 		net, err := manet.New(cfg, seed, func(n *manet.Node) manet.Protocol {
-			p := &Protocol{P: params, states: make(map[int]*msgState)}
+			p := &Protocol{P: params}
 			protos[n.ID] = p
 			return p
 		})
@@ -108,7 +108,7 @@ func TestProtocolInvariantsRandomised(t *testing.T) {
 
 		// Sanity on the source protocol state: it must not also process
 		// the message as a receiver.
-		if srcState := protos[source].states[st.MessageID]; srcState == nil || !srcState.done {
+		if srcState := protos[source].state(st.MessageID); srcState == nil || !srcState.done {
 			t.Fatalf("trial %d: source state corrupted", trial)
 		}
 	}

@@ -1,0 +1,21 @@
+// Package cliutil carries the few helpers the cmd/ binaries share, so
+// every CLI presents the same -h surface: a one-paragraph header naming
+// the binary and the paper experiments it reproduces, followed by the
+// standard flag listing (see cmd/README.md for the full binary/flag to
+// experiment map).
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+)
+
+// SetUsage installs a flag.Usage that prints a named header paragraph
+// above the default flag listing. Call it before flag.Parse.
+func SetUsage(name, description string) {
+	out := flag.CommandLine.Output()
+	flag.Usage = func() {
+		fmt.Fprintf(out, "%s — %s\n\nusage: %s [flags]\n\nflags:\n", name, description, name)
+		flag.PrintDefaults()
+	}
+}

@@ -167,6 +167,7 @@ type Problem struct {
 	sharedWarmups   bool
 	sharedTapes     bool
 	bufferReuse     bool
+	exactPhysics    bool
 	snaps           []warmSlot
 	tapes           []tapeSlot
 	arenas          sync.Pool
@@ -256,6 +257,24 @@ func WithSharedWarmups(enabled bool) Option { return func(p *Problem) { p.shared
 // opt-out matrix hold them to that).
 func WithSharedTapes(enabled bool) Option { return func(p *Problem) { p.sharedTapes = enabled } }
 
+// WithExactPhysics selects the reference per-call path-loss physics
+// (default off): every reception power is then computed as
+// radio.RxPower — a square root plus an interface Model.Loss call per
+// candidate receiver — instead of the fused d2-space kernel
+// (radio.NewKernel) the default engine runs. The two physics arms agree
+// within a ULP-scaled bound on every reception power
+// (radio.FuzzKernelVsReference) and produce identical discrete metrics
+// (coverage, forwardings, collisions, broadcast time) on the golden
+// corpus; the continuous energy sums differ in the last bits, which is
+// why the golden corpus records both arms and why the flag is folded
+// into the shared-cache config fingerprint — tapes and warm-up snapshots
+// recorded under one physics arm are never served to the other.
+//
+// Set it for paper-exact reproduction runs that must extend a corpus of
+// previously recorded reference-physics results bit-for-bit; leave it
+// off for throughput.
+func WithExactPhysics(enabled bool) Option { return func(p *Problem) { p.exactPhysics = enabled } }
+
 // WithBufferReuse toggles the instantiation arenas of the default engine
 // (default on): node/RNG blocks, the O(N^2) neighbor index, the event
 // heap, the spatial grid and the neighbor tables are recycled across the
@@ -291,6 +310,11 @@ func NewProblem(density int, seed uint64, opts ...Option) *Problem {
 	if p.cfg.NumNodes <= 0 {
 		p.cfg.NumNodes = nodes
 	}
+	// WithExactPhysics and a WithConfig carrying ExactPhysics both opt
+	// into the reference physics arm; neither can silently opt the other
+	// out.
+	p.cfg.ExactPhysics = p.cfg.ExactPhysics || p.exactPhysics
+	p.exactPhysics = p.cfg.ExactPhysics
 	// Freeze the committee: scenario seeds and source draws come from a
 	// master stream that depends only on the problem seed — NOT the
 	// density — so scenario i of every density is the same node
@@ -324,6 +348,11 @@ func (p *Problem) Nodes() int { return p.cfg.NumNodes }
 
 // Committee returns the number of frozen networks per evaluation.
 func (p *Problem) Committee() int { return len(p.scenarios) }
+
+// ExactPhysics reports whether the problem evaluates the reference
+// per-call path-loss physics (WithExactPhysics) instead of the fused
+// d2-space kernel.
+func (p *Problem) ExactPhysics() bool { return p.exactPhysics }
 
 // Dim implements moo.Problem.
 func (p *Problem) Dim() int { return aedb.NumParams }
@@ -497,6 +526,11 @@ type sharedCfgKey struct {
 	beaconInterval, neighborTimeout    float64
 	beaconBytes, dataBytes             int
 	warmupTime, endTime                float64
+	// exactPhysics separates the two physics arms: a beacon tape records
+	// pre-converted reception powers, so a tape (or snapshot) recorded
+	// under the fused kernel must never be served to an exact-physics
+	// Problem, and vice versa.
+	exactPhysics bool
 }
 
 // sharedCfgKeyOf fingerprints cfg, reporting false when the configuration
@@ -527,6 +561,7 @@ func sharedCfgKeyOf(cfg manet.Config) (sharedCfgKey, bool) {
 		dataBytes:          cfg.DataBytes,
 		warmupTime:         cfg.WarmupTime,
 		endTime:            cfg.EndTime,
+		exactPhysics:       cfg.ExactPhysics,
 	}, true
 }
 

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -42,10 +41,27 @@ type goldenMetrics struct {
 	Readable map[string]float64 `json:"readable"`
 }
 
+// goldenEntry records one corpus case under BOTH physics arms: Metrics is
+// the reference (ExactPhysics) arm — the bits every engine generation of
+// this repository has produced — and MetricsKernel is the fused d2-space
+// kernel arm the default engine runs since the fast physics kernel
+// landed. The arms agree bit-for-bit on every discrete field (coverage,
+// forwardings, collisions, broadcast time); only the continuous energy
+// sums differ, in the last units of the mantissa (see
+// TestKernelPhysicsMatchesExactOnGoldenCorpus).
 type goldenEntry struct {
 	goldenCase
-	Committee int           `json:"committee"`
-	Metrics   goldenMetrics `json:"metrics"`
+	Committee     int           `json:"committee"`
+	Metrics       goldenMetrics `json:"metrics"`
+	MetricsKernel goldenMetrics `json:"metrics_kernel"`
+}
+
+// want selects the recorded arm for a physics mode.
+func (e goldenEntry) want(exactPhysics bool) goldenMetrics {
+	if exactPhysics {
+		return e.Metrics
+	}
+	return e.MetricsKernel
 }
 
 type goldenFile struct {
@@ -103,9 +119,11 @@ func simulateCase(c goldenCase, opts ...Option) Metrics {
 // every committed corpus entry must be reproduced bit-for-bit by BOTH
 // engines — the default fast path (beacon-tape replay, quiescence early
 // stop, arena reuse, shared masked warm-ups) and the reference path —
-// across all paper densities and several committee seeds. A failure means
-// the default numeric path silently drifted; regenerate with -update only
-// for a change whose numeric effect is understood and intended.
+// under BOTH physics arms (the fused d2-space kernel, and the reference
+// per-call physics of WithExactPhysics), across all paper densities and
+// several committee seeds. A failure means a numeric path silently
+// drifted; regenerate with -update only for a change whose numeric
+// effect is understood and intended.
 func TestGoldenMetrics(t *testing.T) {
 	if *updateGolden {
 		writeGolden(t)
@@ -127,21 +145,14 @@ func TestGoldenMetrics(t *testing.T) {
 			t.Fatalf("%s: corpus committee %d does not match test committee %d", name, e.Committee, goldenCommittee)
 		}
 		for pathName, m := range map[string]Metrics{
-			"default":   simulateCase(e.goldenCase),
-			"reference": simulateCase(e.goldenCase, WithReferencePath(true)),
-			"unshared":  simulateCase(e.goldenCase, WithSharedWarmups(false), WithBufferReuse(false)),
+			"default":         simulateCase(e.goldenCase),
+			"reference":       simulateCase(e.goldenCase, WithReferencePath(true)),
+			"unshared":        simulateCase(e.goldenCase, WithSharedWarmups(false), WithBufferReuse(false)),
+			"exact":           simulateCase(e.goldenCase, WithExactPhysics(true)),
+			"exact-reference": simulateCase(e.goldenCase, WithExactPhysics(true), WithReferencePath(true)),
 		} {
-			got := metricsFields(m)
-			for field, wantHex := range e.Metrics.Hex {
-				want, err := strconv.ParseFloat(wantHex, 64)
-				if err != nil {
-					t.Fatalf("%s: bad hex float %q: %v", name, wantHex, err)
-				}
-				if gv := got[field]; gv != want || math.Signbit(gv) != math.Signbit(want) {
-					t.Errorf("%s [%s path]: %s drifted: got %s (%v), want %s (%v)",
-						name, pathName, field, strconv.FormatFloat(gv, 'x', -1, 64), gv, wantHex, want)
-				}
-			}
+			exact := pathName == "exact" || pathName == "exact-reference"
+			assertGoldenMetrics(t, fmt.Sprintf("%s [%s path]", name, pathName), e.want(exact), m)
 		}
 	}
 }
@@ -150,16 +161,34 @@ func writeGolden(t *testing.T) {
 	t.Helper()
 	file := goldenFile{
 		Comment: "Bit-exact committee metrics of the evaluation engine (committee " +
-			strconv.Itoa(goldenCommittee) + "). Regenerate deliberately with: go test ./internal/eval -run TestGoldenMetrics -update",
+			strconv.Itoa(goldenCommittee) + "), recorded under both physics arms: 'metrics' is the reference " +
+			"(ExactPhysics) arm, 'metrics_kernel' the fused d2-space kernel arm the default engine runs. " +
+			"Regenerate deliberately with: go test ./internal/eval -run TestGoldenMetrics -update",
 	}
 	for _, c := range goldenCases() {
-		def := simulateCase(c)
-		ref := simulateCase(c, WithReferencePath(true))
-		if def != ref {
-			t.Fatalf("refusing to record corpus: default and reference engines disagree on d%d seed %d:\n%+v\n%+v",
-				c.Density, c.Seed, def, ref)
+		kern := simulateCase(c)
+		kernRef := simulateCase(c, WithReferencePath(true))
+		if kern != kernRef {
+			t.Fatalf("refusing to record corpus: default and reference engines disagree on d%d seed %d (kernel arm):\n%+v\n%+v",
+				c.Density, c.Seed, kern, kernRef)
 		}
-		file.Entries = append(file.Entries, goldenEntry{goldenCase: c, Committee: goldenCommittee, Metrics: encodeGolden(def)})
+		exact := simulateCase(c, WithExactPhysics(true))
+		exactRef := simulateCase(c, WithExactPhysics(true), WithReferencePath(true))
+		if exact != exactRef {
+			t.Fatalf("refusing to record corpus: default and reference engines disagree on d%d seed %d (exact arm):\n%+v\n%+v",
+				c.Density, c.Seed, exact, exactRef)
+		}
+		// Cross-arm sanity: the physics arms must agree exactly on every
+		// discrete field; only the energy sums may round differently.
+		if kern.Coverage != exact.Coverage || kern.Forwardings != exact.Forwardings ||
+			kern.Collisions != exact.Collisions || kern.BroadcastTime != exact.BroadcastTime {
+			t.Fatalf("refusing to record corpus: physics arms disagree on a discrete metric at d%d seed %d:\nkernel %+v\nexact  %+v",
+				c.Density, c.Seed, kern, exact)
+		}
+		file.Entries = append(file.Entries, goldenEntry{
+			goldenCase: c, Committee: goldenCommittee,
+			Metrics: encodeGolden(exact), MetricsKernel: encodeGolden(kern),
+		})
 	}
 	out, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {

@@ -27,30 +27,31 @@ func loadGoldenEntries(t *testing.T) []goldenEntry {
 	return file.Entries
 }
 
-// assertGoldenMetrics requires the simulated metrics to match a corpus
-// entry bit-for-bit on every field.
-func assertGoldenMetrics(t *testing.T, name string, e goldenEntry, m Metrics) {
+// assertGoldenMetrics requires the simulated metrics to match the given
+// recorded arm bit-for-bit on every field.
+func assertGoldenMetrics(t *testing.T, name string, want goldenMetrics, m Metrics) {
 	t.Helper()
 	got := metricsFields(m)
-	for field, wantHex := range e.Metrics.Hex {
-		want, err := strconv.ParseFloat(wantHex, 64)
+	for field, wantHex := range want.Hex {
+		w, err := strconv.ParseFloat(wantHex, 64)
 		if err != nil {
 			t.Fatalf("%s: bad hex float %q: %v", name, wantHex, err)
 		}
-		if gv := got[field]; gv != want || math.Signbit(gv) != math.Signbit(want) {
+		if gv := got[field]; gv != w || math.Signbit(gv) != math.Signbit(w) {
 			t.Errorf("%s: %s drifted: got %s (%v), want %s (%v)",
-				name, field, strconv.FormatFloat(gv, 'x', -1, 64), gv, wantHex, want)
+				name, field, strconv.FormatFloat(gv, 'x', -1, 64), gv, wantHex, w)
 		}
 	}
 }
 
 // TestGoldenMetricsOptOutMatrix replays the golden corpus under EVERY
-// combination of the four engine opt-outs — shared tapes, shared
-// warm-ups, buffer reuse, reference path — so no flag combination can
-// drift numerically unnoticed: whatever subset of the caches and fast
-// paths a caller ends up on, the metrics must still be the committed
-// bit-exact ones. Under -short the corpus is thinned to one seed per
-// density (the full matrix runs in the regular suite).
+// combination of the five engine opt-outs — shared tapes, shared
+// warm-ups, buffer reuse, reference path, exact physics (32 combos) — so
+// no flag combination can drift numerically unnoticed: whatever subset
+// of the caches, fast paths and physics arms a caller ends up on, the
+// metrics must still be the committed bit-exact ones for that physics
+// arm. Under -short the corpus is thinned to one seed per density (the
+// full matrix runs in the regular suite).
 func TestGoldenMetricsOptOutMatrix(t *testing.T) {
 	entries := loadGoldenEntries(t)
 	if testing.Short() {
@@ -68,16 +69,19 @@ func TestGoldenMetricsOptOutMatrix(t *testing.T) {
 		for _, warmups := range []bool{true, false} {
 			for _, arena := range []bool{true, false} {
 				for _, ref := range []bool{false, true} {
-					combo := fmt.Sprintf("tapes=%v/warmups=%v/arena=%v/ref=%v", tapes, warmups, arena, ref)
-					opts := []Option{
-						WithSharedTapes(tapes),
-						WithSharedWarmups(warmups),
-						WithBufferReuse(arena),
-						WithReferencePath(ref),
-					}
-					for _, e := range entries {
-						name := fmt.Sprintf("%s d%d/seed%d", combo, e.Density, e.Seed)
-						assertGoldenMetrics(t, name, e, simulateCase(e.goldenCase, opts...))
+					for _, exact := range []bool{false, true} {
+						combo := fmt.Sprintf("tapes=%v/warmups=%v/arena=%v/ref=%v/exact=%v", tapes, warmups, arena, ref, exact)
+						opts := []Option{
+							WithSharedTapes(tapes),
+							WithSharedWarmups(warmups),
+							WithBufferReuse(arena),
+							WithReferencePath(ref),
+							WithExactPhysics(exact),
+						}
+						for _, e := range entries {
+							name := fmt.Sprintf("%s d%d/seed%d", combo, e.Density, e.Seed)
+							assertGoldenMetrics(t, name, e.want(exact), simulateCase(e.goldenCase, opts...))
+						}
 					}
 				}
 			}

@@ -55,6 +55,11 @@ type Scale struct {
 	// sharing one recording per scenario across the density sweep.
 	// Metrics are bit-identical either way.
 	UnsharedTapes bool
+	// ExactPhysics evaluates every problem of this scale through the
+	// reference per-call path-loss physics (eval.WithExactPhysics)
+	// instead of the fused d2-space kernel: the choice for runs that must
+	// extend previously recorded reference-physics artifacts bit-for-bit.
+	ExactPhysics bool
 	// Seed is the base seed; run r of algorithm a uses
 	// Seed + 1000*r + a, and the network committee uses Seed directly.
 	Seed uint64
@@ -149,6 +154,9 @@ func (s Scale) EvalOptions() []eval.Option {
 	}
 	if s.UnsharedTapes {
 		opts = append(opts, eval.WithSharedTapes(false))
+	}
+	if s.ExactPhysics {
+		opts = append(opts, eval.WithExactPhysics(true))
 	}
 	return opts
 }

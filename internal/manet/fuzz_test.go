@@ -42,8 +42,8 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 	f.Add(uint8(14), uint64(99), uint8(59), uint8(7))
 	f.Add(uint8(23), uint64(20130520), uint8(33), uint8(11))
 	f.Fuzz(func(t *testing.T, nodesRaw uint8, seed uint64, cutRaw, extraRaw uint8) {
-		nodes := 2 + int(nodesRaw%24)  // 2..25 nodes
-		extra := int(extraRaw % 12)    // parent holds up to 11 masked nodes
+		nodes := 2 + int(nodesRaw%24)      // 2..25 nodes
+		extra := int(extraRaw % 12)        // parent holds up to 11 masked nodes
 		cut := 0.5 + float64(cutRaw%60)/10 // 0.5..6.4 s warm-up
 		cfg := DefaultScenario(nodes)
 		cfg.WarmupTime = cut

@@ -80,6 +80,14 @@ type Config struct {
 	// default; accurate beacon contention is available for ablations.
 	FastBeacons bool
 
+	// ExactPhysics selects the reference per-call path-loss evaluation
+	// (radio.NewExactKernel: sqrt + Model.Loss per candidate) instead of
+	// the default fused d2-space kernel (radio.NewKernel). The two agree
+	// within a ULP-scaled bound on every reception power — and therefore
+	// on every discrete metric in practice — but are not bit-identical;
+	// paper-exact reproduction runs set this. See internal/radio/kernel.go.
+	ExactPhysics bool
+
 	// Timeline.
 	WarmupTime float64 // nodes move before the broadcast starts
 	EndTime    float64 // absolute simulation end
@@ -190,11 +198,12 @@ type NeighborEntry struct {
 // table reads, which protocols perform orders of magnitude less often
 // than beacons fire; frame-level beacons already computed the received
 // power for the collision model and store it directly. The deferred
-// conversion uses the identical expression the eager path would have
-// used, so read-time values are bit-identical; once performed it is
-// memoised in rx (rxValid), and beacon-tape recording pre-performs it so
-// every replay simulation of the scenario shares one conversion per
-// beacon instead of one per read.
+// conversion runs through the network's active path-loss kernel — the
+// same kernel every eager conversion uses, so read-time values are
+// bit-identical to an eager evaluation under the same physics mode; once
+// performed it is memoised in rx (rxValid), and beacon-tape recording
+// pre-performs it so every replay simulation of the scenario shares one
+// conversion per beacon instead of one per read.
 type nbrRec struct {
 	id        int32
 	hasRx     bool
@@ -276,11 +285,12 @@ func (n *Node) Position() geom.Vec2 { return n.net.positionOf(n) }
 // expired ones. The returned slice is scratch reused across calls;
 // callers must not retain or mutate it.
 func (n *Node) Neighbors() []NeighborEntry {
-	if n.net.tape != nil {
-		n.net.syncTape(n)
+	net := n.net
+	if net.tape != nil {
+		net.syncTape(n)
 	}
-	cfg := &n.net.Cfg
-	cutoff := n.net.Sim.Now() - cfg.NeighborTimeout
+	cfg := &net.Cfg
+	cutoff := net.Sim.Now() - cfg.NeighborTimeout
 	n.nbrOut = n.nbrOut[:0]
 	w := 0
 	for _, e := range n.neighbors {
@@ -291,7 +301,11 @@ func (n *Node) Neighbors() []NeighborEntry {
 		rx := e.rx
 		if !e.hasRx {
 			if !e.rxValid {
-				rx = radio.RxPower(cfg.PathLoss, cfg.DefaultTxPowerDBm, math.Sqrt(e.d2))
+				// Deferred conversion through the active kernel: fused
+				// d2-space evaluation, no square root (and memoised, so
+				// each row converts at most once; tape rows arrive
+				// pre-converted by the batched recording path).
+				rx = net.kern.RxPower2(cfg.DefaultTxPowerDBm, e.d2)
 				e.rx, e.rxValid = rx, true
 			}
 			if rx < cfg.SensitivityDBm {
@@ -362,6 +376,17 @@ type Network struct {
 	maxRange  float64
 	scratch   []int32     // candidate buffer reused across queries
 	posBuf    []geom.Vec2 // position buffer reused across grid rebuilds
+
+	// kern is the active path-loss kernel, compiled from Cfg.PathLoss by
+	// initKernel (fused d2-space form by default, reference per-call
+	// physics under Cfg.ExactPhysics). physIDs/physD2/physRx are the
+	// scratch buffers of its batched conversions: the admitted candidates
+	// of a transmission, their squared distances, and the converted
+	// powers.
+	kern    radio.Kernel
+	physIDs []int32
+	physD2  []float64
+	physRx  []float64
 
 	// recs is the reception pool; freeRecs its free list.
 	recs     []reception
@@ -463,6 +488,7 @@ func New(cfg Config, seed uint64, makeProto func(*Node) Protocol) (*Network, err
 	}
 	net.Sim.SetHandler(net.dispatch)
 	net.maxRange = cfg.PathLoss.RangeFor(cfg.DefaultTxPowerDBm, cfg.SensitivityDBm)
+	net.initKernel()
 	net.initGrid()
 
 	for i := 0; i < cfg.NumNodes; i++ {
@@ -503,6 +529,17 @@ func New(cfg Config, seed uint64, makeProto func(*Node) Protocol) (*Network, err
 		net.Sim.AtTagged(phase, evBeacon, int32(n.ID), 0)
 	}
 	return net, nil
+}
+
+// initKernel compiles the active path-loss kernel from the config: the
+// fused d2-space kernel by default, reference per-call physics when
+// Cfg.ExactPhysics is set (see radio.NewKernel / radio.NewExactKernel).
+func (net *Network) initKernel() {
+	if net.Cfg.ExactPhysics {
+		net.kern = radio.NewExactKernel(net.Cfg.PathLoss)
+	} else {
+		net.kern = radio.NewKernel(net.Cfg.PathLoss)
+	}
 }
 
 // initGrid sizes the spatial index: one cell per maximum radio range, so
@@ -637,20 +674,38 @@ func (net *Network) fastBeacon(n *Node) {
 	n.TxFrames++
 	pos := net.positionOf(n)
 	r2 := net.maxRange * net.maxRange
+	if net.tapeRec == nil {
+		for _, id := range net.candidates(pos, net.maxRange, n.ID, false) {
+			other := net.Nodes[id]
+			d2 := pos.Dist2(net.positionOf(other))
+			if d2 > r2 {
+				continue
+			}
+			// The dBm conversion is deferred to table reads (see nbrRec).
+			other.upsertNeighbor(nbrRec{id: int32(n.ID), d2: d2, lastHeard: now})
+			other.RxFrames++
+		}
+		return
+	}
+	// Recording: pre-perform the conversion — one batched kernel call for
+	// the whole in-range slice — so every replay of the tape shares it
+	// instead of converting per read per candidate.
+	ids := net.physIDs[:0]
+	d2s := net.physD2[:0]
 	for _, id := range net.candidates(pos, net.maxRange, n.ID, false) {
-		other := net.Nodes[id]
-		d2 := pos.Dist2(net.positionOf(other))
+		d2 := pos.Dist2(net.positionOf(net.Nodes[id]))
 		if d2 > r2 {
 			continue
 		}
-		// The dBm conversion is deferred to table reads (see nbrRec).
-		rec := nbrRec{id: int32(n.ID), d2: d2, lastHeard: now}
-		if net.tapeRec != nil {
-			// Pre-perform the conversion so every replay of the tape
-			// shares it instead of converting per read per candidate.
-			rec.rx, rec.rxValid = radio.RxPower(cfg.PathLoss, cfg.DefaultTxPowerDBm, math.Sqrt(d2)), true
-			net.tapeRec.perNode[id] = append(net.tapeRec.perNode[id], rec)
-		}
+		ids = append(ids, id)
+		d2s = append(d2s, d2)
+	}
+	rxs := net.kern.RxPowerInto(net.physRx, cfg.DefaultTxPowerDBm, d2s)
+	net.physIDs, net.physD2, net.physRx = ids, d2s, rxs
+	for i, id := range ids {
+		rec := nbrRec{id: int32(n.ID), d2: d2s[i], rx: rxs[i], rxValid: true, lastHeard: now}
+		net.tapeRec.perNode[id] = append(net.tapeRec.perNode[id], rec)
+		other := net.Nodes[id]
 		other.upsertNeighbor(rec)
 		other.RxFrames++
 	}
@@ -787,25 +842,38 @@ func (net *Network) transmitFrame(n *Node, msg *Message, txPowerDBm float64, byt
 	}
 
 	pos := net.positionOf(n)
-	reach := cfg.PathLoss.RangeFor(txPowerDBm, cfg.SensitivityDBm)
-	r2 := reach * reach
+	// The kernel precomputes the sensitivity cutoff as a d2-space
+	// threshold: out-of-range candidates are rejected on their squared
+	// distance alone and never touch a transcendental. Candidates under
+	// the cutoff still pass the exact rx >= sensitivity check below, the
+	// same structure the reference path uses with RangeFor squared.
+	cut := net.kern.CutoffD2(txPowerDBm, cfg.SensitivityDBm)
+	reach := math.Sqrt(cut)
 	// Receivers in ascending ID order: reception events get sequence
 	// numbers in the same order a linear node scan would assign, so
 	// same-instant tie-breaking matches across runs and paths.
+	ids := net.physIDs[:0]
+	d2s := net.physD2[:0]
 	for _, id := range net.candidates(pos, reach, n.ID, true) {
-		other := net.Nodes[id]
-		d2 := pos.Dist2(net.positionOf(other))
-		if d2 > r2 {
+		d2 := pos.Dist2(net.positionOf(net.Nodes[id]))
+		if d2 > cut {
 			continue
 		}
-		d := math.Sqrt(d2)
-		rx := radio.RxPower(cfg.PathLoss, txPowerDBm, d)
+		ids = append(ids, id)
+		d2s = append(d2s, d2)
+	}
+	// One batched kernel call converts every admitted candidate's squared
+	// distance to its reception power.
+	rxs := net.kern.RxPowerInto(net.physRx, txPowerDBm, d2s)
+	net.physIDs, net.physD2, net.physRx = ids, d2s, rxs
+	for i, id := range ids {
+		rx := rxs[i]
 		if rx < cfg.SensitivityDBm {
 			continue
 		}
 		var prop float64
 		if cfg.PropagationSpeed > 0 {
-			prop = d / cfg.PropagationSpeed
+			prop = math.Sqrt(d2s[i]) / cfg.PropagationSpeed
 		}
 		ri := net.allocRec()
 		net.recs[ri] = reception{from: int32(n.ID), powerDBm: rx, start: now + prop, end: now + prop + duration, msg: msg}

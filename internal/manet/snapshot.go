@@ -218,6 +218,7 @@ func (s *Snapshot) instantiate(makeProto func(*Node) Protocol, source int, start
 	net.dataInFlight = 0
 	net.tapeRec = nil
 	net.maxRange = s.cfg.PathLoss.RangeFor(s.cfg.DefaultTxPowerDBm, s.cfg.SensitivityDBm)
+	net.initKernel()
 	net.initGrid()
 	if tape != nil {
 		net.tape = tape

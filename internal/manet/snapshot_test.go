@@ -253,30 +253,44 @@ func TestCandidatesMatchLinearScan(t *testing.T) {
 }
 
 func TestNeighborsLazyPowerMatchesLinkBudget(t *testing.T) {
-	// The deferred dBm conversion must agree exactly with the eager link
-	// budget (this is the fast-beacon read path).
-	positions := []geom.Vec2{{X: 0, Y: 0}, {X: 73, Y: 0}}
-	cfg := DefaultScenario(2)
-	cfg.WarmupTime = 0
-	cfg.EndTime = 10
-	cfg.MakeMobility = func(id int, _ *rng.Rand) mobility.Model {
-		return &mobility.Static{P: positions[id]}
-	}
-	net, err := New(cfg, 3, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	net.Sim.RunUntil(3)
-	nbrs := net.Nodes[0].Neighbors()
-	if len(nbrs) != 1 {
-		t.Fatalf("neighbors = %d, want 1", len(nbrs))
-	}
-	want := radio.RxPower(cfg.PathLoss, cfg.DefaultTxPowerDBm, 73)
-	if nbrs[0].RxPowerDBm != want {
-		t.Fatalf("lazy rx = %v, want exactly %v", nbrs[0].RxPowerDBm, want)
-	}
-	if math.IsNaN(nbrs[0].RxPowerDBm) {
-		t.Fatal("NaN rx power")
+	// The deferred dBm conversion must agree exactly with the eager
+	// evaluation of the network's active path-loss kernel (this is the
+	// fast-beacon read path): bit-identical to the reference link budget
+	// under ExactPhysics, and to the fused kernel — itself within a
+	// ULP-scaled bound of the reference — by default.
+	for _, exact := range []bool{false, true} {
+		positions := []geom.Vec2{{X: 0, Y: 0}, {X: 73, Y: 0}}
+		cfg := DefaultScenario(2)
+		cfg.WarmupTime = 0
+		cfg.EndTime = 10
+		cfg.ExactPhysics = exact
+		cfg.MakeMobility = func(id int, _ *rng.Rand) mobility.Model {
+			return &mobility.Static{P: positions[id]}
+		}
+		net, err := New(cfg, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Sim.RunUntil(3)
+		nbrs := net.Nodes[0].Neighbors()
+		if len(nbrs) != 1 {
+			t.Fatalf("exact=%v: neighbors = %d, want 1", exact, len(nbrs))
+		}
+		want := net.kern.RxPower2(cfg.DefaultTxPowerDBm, 73*73)
+		if nbrs[0].RxPowerDBm != want {
+			t.Fatalf("exact=%v: lazy rx = %v, want exactly %v", exact, nbrs[0].RxPowerDBm, want)
+		}
+		ref := radio.RxPower(cfg.PathLoss, cfg.DefaultTxPowerDBm, 73)
+		if exact {
+			if nbrs[0].RxPowerDBm != ref {
+				t.Fatalf("exact physics rx = %v, want reference %v", nbrs[0].RxPowerDBm, ref)
+			}
+		} else if math.Abs(nbrs[0].RxPowerDBm-ref) > 1e-9 {
+			t.Fatalf("fused rx = %v drifted from reference %v", nbrs[0].RxPowerDBm, ref)
+		}
+		if math.IsNaN(nbrs[0].RxPowerDBm) {
+			t.Fatal("NaN rx power")
+		}
 	}
 }
 

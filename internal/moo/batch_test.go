@@ -9,10 +9,10 @@ type fakeProblem struct {
 	evalCalls  int
 }
 
-func (p *fakeProblem) Name() string                   { return "fake" }
-func (p *fakeProblem) Dim() int                       { return 2 }
-func (p *fakeProblem) NumObjectives() int             { return 2 }
-func (p *fakeProblem) Bounds() (lo, hi []float64)     { return []float64{0, 0}, []float64{1, 1} }
+func (p *fakeProblem) Name() string               { return "fake" }
+func (p *fakeProblem) Dim() int                   { return 2 }
+func (p *fakeProblem) NumObjectives() int         { return 2 }
+func (p *fakeProblem) Bounds() (lo, hi []float64) { return []float64{0, 0}, []float64{1, 1} }
 func (p *fakeProblem) eval(x []float64) ([]float64, float64, any) {
 	return []float64{x[0], x[1]}, x[0] - 0.5, x[0] + x[1]
 }

@@ -73,8 +73,49 @@ func TestDefaultRangeMatchesPaperEnvelope(t *testing.T) {
 	}
 }
 
+// TestModelsFiniteAtShortRange pins the short-range clamping contract of
+// all four models: at d=0 and anywhere below the model's reference
+// distance, the loss is finite, non-negative and equal to the clamped
+// reference-region value — no -Inf "gain" from the raw Friis formula, no
+// NaN from degenerate two-ray geometry.
+func TestModelsFiniteAtShortRange(t *testing.T) {
+	cases := []struct {
+		name    string
+		m       Model
+		refDist float64
+		refLoss float64
+	}{
+		{"log-distance", NewLogDistanceDefault(), 1.0, 46.6777},
+		{"friis", NewFriis24GHz(), NewFriis24GHz().ReferenceDistance(), 0},
+		{"two-ray", NewTwoRayGroundDefault(), NewFriis24GHz().ReferenceDistance(), 0},
+		{"three-log-distance", NewThreeLogDistanceDefault(), 1.0, 46.6777},
+	}
+	for _, c := range cases {
+		for _, d := range []float64{0, c.refDist / 4, c.refDist / 2, c.refDist} {
+			got := c.m.Loss(d)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Errorf("%s: Loss(%v) = %v, want finite", c.name, d, got)
+			}
+			if got != c.refLoss {
+				t.Errorf("%s: Loss(%v) = %v, want clamped reference loss %v", c.name, d, got, c.refLoss)
+			}
+			if got < 0 {
+				t.Errorf("%s: negative loss %v at d=%v (a short-range gain)", c.name, got, d)
+			}
+		}
+	}
+	// Degenerate two-ray geometry must stay finite everywhere, including
+	// past the (collapsed) crossover.
+	degenerate := TwoRayGround{Friis: NewFriis24GHz(), Crossover: 0, HeightM: 0}
+	for _, d := range []float64{0, 0.001, 1, 100} {
+		if got := degenerate.Loss(d); math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
+			t.Errorf("degenerate two-ray: Loss(%v) = %v, want finite and non-negative", d, got)
+		}
+	}
+}
+
 func TestRangeForInvertsLoss(t *testing.T) {
-	models := []Model{NewLogDistanceDefault(), NewFriis24GHz(), NewTwoRayGroundDefault()}
+	models := []Model{NewLogDistanceDefault(), NewFriis24GHz(), NewTwoRayGroundDefault(), NewThreeLogDistanceDefault()}
 	for _, m := range models {
 		for _, tx := range []float64{16.02, 0, -20} {
 			d := m.RangeFor(tx, -96)

@@ -83,10 +83,22 @@ func (e entry) before(o entry) bool {
 // Simulator owns the simulation clock and the future event list. It is not
 // safe for concurrent use; one simulation runs on one goroutine (many
 // simulations run in parallel at a higher level).
+//
+// The future event list has two tiers. Events scheduled at runtime live
+// in a small min-heap; a schedule restored by Reset/Restore — already
+// sorted in firing order by SnapshotEvents — is kept as-is and consumed
+// through a cursor instead of being fed through the heap. The earliest
+// pending event is the smaller of the two heads under the same (time,
+// seq) total order, so the pop sequence is identical to a single heap —
+// but a replay simulation's heap only ever holds the handful of
+// in-flight frame/timer events, not the whole restored schedule.
 type Simulator struct {
-	now       float64
-	seq       uint64
-	heap      []entry
+	now      float64
+	seq      uint64
+	heap     []entry // runtime-scheduled events (min-heap)
+	sched    []entry // restored schedule, sorted; consumed from schedIdx
+	schedIdx int
+
 	stopped   bool
 	fired     uint64
 	frontUsed bool
@@ -118,20 +130,22 @@ func Restore(now float64, events []TaggedEvent) *Simulator {
 // pending events are discarded; the handler must be re-installed with
 // SetHandler before a tagged event fires.
 func (s *Simulator) Reset(now float64, events []TaggedEvent) {
-	// Zero abandoned slots beyond the new length so stale *Event
-	// references from an early-stopped run are released.
-	for i := len(events); i < len(s.heap); i++ {
+	// Zero abandoned heap slots so stale *Event references from an
+	// early-stopped run are released. (The restored schedule holds only
+	// tagged events — no pointers — so it needs no such clearing.)
+	for i := range s.heap {
 		s.heap[i] = entry{}
 	}
-	if cap(s.heap) < len(events) {
-		s.heap = make([]entry, len(events))
+	s.heap = s.heap[:0]
+	if cap(s.sched) < len(events) {
+		s.sched = make([]entry, len(events))
 	} else {
-		s.heap = s.heap[:len(events)]
+		s.sched = s.sched[:len(events)]
 	}
 	for i, ev := range events {
-		// A sorted array is a valid min-heap as-is.
-		s.heap[i] = entry{time: ev.Time, seq: uint64(i) + 1, kind: ev.Kind, a: ev.A, b: ev.B}
+		s.sched[i] = entry{time: ev.Time, seq: uint64(i) + 1, kind: ev.Kind, a: ev.A, b: ev.B}
 	}
+	s.schedIdx = 0
 	s.now = now
 	s.seq = uint64(len(events)) + 1
 	s.stopped = false
@@ -154,7 +168,7 @@ func (s *Simulator) Fired() uint64 { return s.fired }
 
 // Pending returns the number of scheduled, not-yet-fired events, including
 // cancelled events that have not been drained yet.
-func (s *Simulator) Pending() int { return len(s.heap) }
+func (s *Simulator) Pending() int { return len(s.heap) + len(s.sched) - s.schedIdx }
 
 // PendingClosures returns the number of live (not cancelled, not yet
 // fired) closure events in the event list. Tagged events never count.
@@ -164,22 +178,66 @@ func (s *Simulator) Pending() int { return len(s.heap) }
 // cannot run protocol code, so broadcast metrics are final.
 func (s *Simulator) PendingClosures() int { return s.closures }
 
-// push inserts e and restores the heap invariant (sift-up).
+// heapArity is the branching factor of the future event list. A 4-ary
+// layout halves the sift-down depth of the classic binary heap and keeps
+// a node's children within two cache lines — pop dominates the replay
+// engine's profile, so the constant factor matters. The event ordering is
+// a strict total order (time, then unique sequence number), so the pop
+// sequence — and therefore every simulation — is bit-identical for any
+// correct heap shape.
+const heapArity = 4
+
+// push inserts e and restores the heap invariant (hole sift-up: parents
+// move down into the hole and e is stored once, instead of swapping the
+// 40-byte entries at every level).
 func (s *Simulator) push(e entry) {
-	s.heap = append(s.heap, e)
-	i := len(s.heap) - 1
+	h := append(s.heap, entry{})
+	i := len(h) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !s.heap[i].before(s.heap[parent]) {
+		parent := (i - 1) / heapArity
+		if !e.before(h[parent]) {
 			break
 		}
-		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		h[i] = h[parent]
 		i = parent
 	}
+	h[i] = e
+	s.heap = h
 }
 
-// pop removes and returns the earliest entry (sift-down).
+// peek returns the earliest pending entry without removing it: the
+// smaller of the restored-schedule head and the heap top under the
+// (time, seq) total order.
+func (s *Simulator) peek() (entry, bool) {
+	hasSched := s.schedIdx < len(s.sched)
+	if len(s.heap) == 0 {
+		if !hasSched {
+			return entry{}, false
+		}
+		return s.sched[s.schedIdx], true
+	}
+	if hasSched && s.sched[s.schedIdx].before(s.heap[0]) {
+		return s.sched[s.schedIdx], true
+	}
+	return s.heap[0], true
+}
+
+// pop removes and returns the earliest entry, consuming the restored
+// schedule through its cursor and the heap otherwise.
 func (s *Simulator) pop() entry {
+	if s.schedIdx < len(s.sched) {
+		e := s.sched[s.schedIdx]
+		if len(s.heap) == 0 || e.before(s.heap[0]) {
+			s.schedIdx++
+			return e // restored entries are tagged: no closure accounting
+		}
+	}
+	return s.popHeap()
+}
+
+// popHeap removes and returns the earliest heap entry (hole sift-down of
+// the displaced last element).
+func (s *Simulator) popHeap() entry {
 	h := s.heap
 	top := h[0]
 	if top.ev != nil {
@@ -189,24 +247,34 @@ func (s *Simulator) pop() entry {
 		top.ev.popped = true
 	}
 	n := len(h) - 1
-	h[0] = h[n]
+	last := h[n]
 	h[n] = entry{} // release any *Event reference
-	s.heap = h[:n]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && s.heap[l].before(s.heap[smallest]) {
-			smallest = l
+	h = h[:n]
+	s.heap = h
+	if n > 0 {
+		i := 0
+		for {
+			c := heapArity*i + 1
+			if c >= n {
+				break
+			}
+			end := c + heapArity
+			if end > n {
+				end = n
+			}
+			m := c
+			for j := c + 1; j < end; j++ {
+				if h[j].before(h[m]) {
+					m = j
+				}
+			}
+			if !h[m].before(last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
 		}
-		if r < n && s.heap[r].before(s.heap[smallest]) {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		s.heap[i], s.heap[smallest] = s.heap[smallest], s.heap[i]
-		i = smallest
+		h[i] = last
 	}
 	return top
 }
@@ -281,7 +349,8 @@ func (s *Simulator) AtTagged(t float64, kind uint16, a, b int32) {
 // closures cannot be serialised, so such a simulator is not snapshottable.
 // Cancelled closure events are ignored.
 func (s *Simulator) SnapshotEvents() (events []TaggedEvent, ok bool) {
-	pending := make([]entry, 0, len(s.heap))
+	pending := make([]entry, 0, s.Pending())
+	pending = append(pending, s.sched[s.schedIdx:]...)
 	for _, e := range s.heap {
 		if e.ev != nil {
 			if e.ev.cancelled {
@@ -312,8 +381,9 @@ func (s *Simulator) Run() {
 // until if that is later and until >= 0.
 func (s *Simulator) RunUntil(until float64) {
 	s.stopped = false
-	for len(s.heap) > 0 && !s.stopped {
-		if until >= 0 && s.heap[0].time > until {
+	for !s.stopped {
+		head, ok := s.peek()
+		if !ok || (until >= 0 && head.time > until) {
 			break
 		}
 		next := s.pop()
@@ -340,7 +410,8 @@ func (s *Simulator) RunUntil(until float64) {
 // event, so callers interleaving StepUntil with state inspection observe
 // exactly the event-loop schedule.
 func (s *Simulator) StepUntil(until float64) bool {
-	if len(s.heap) == 0 || (until >= 0 && s.heap[0].time > until) {
+	head, ok := s.peek()
+	if !ok || (until >= 0 && head.time > until) {
 		return false
 	}
 	next := s.pop()
@@ -364,8 +435,9 @@ func (s *Simulator) StepUntil(until float64) bool {
 // has when the origination event fires.
 func (s *Simulator) RunBefore(cut float64) {
 	s.stopped = false
-	for len(s.heap) > 0 && !s.stopped {
-		if s.heap[0].time >= cut {
+	for !s.stopped {
+		head, ok := s.peek()
+		if !ok || head.time >= cut {
 			break
 		}
 		next := s.pop()
