@@ -5,10 +5,18 @@
 //
 //	aedb-experiments [-scale tiny|small|paper] [-out dir] [-scenario-workers 1] [-reference-path] [-unshared-tapes]
 //	                 [-exact-physics] [-only fig2,tab1,fig6,fig7,tab4,timing,config,ablation,memetic,beacons,mobility,spea2]
+//	                 [-checkpoint-dir dir] [-checkpoint-every 1000]
 //
 // The default small scale keeps all structural ratios of the paper
 // (30-run protocol shrunk to 5, AEDB-MLS at 2.4x the MOEA budget) and
 // finishes in minutes; -scale paper executes the full protocol.
+//
+// With -checkpoint-dir every (algorithm, density, run) of the comparison
+// suite checkpoints into its own file there; SIGINT/SIGTERM stop the
+// suite at the next optimizer boundary after saving (a second signal
+// exits immediately), and re-running with the same flags resumes —
+// completed runs short-circuit from their Final checkpoints and the
+// interrupted run continues bit-exactly.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"aedbmls/internal/aedb"
 	"aedbmls/internal/cliutil"
 	"aedbmls/internal/experiments"
+	"aedbmls/internal/faultinject"
 	"aedbmls/internal/moo"
 	"aedbmls/internal/report"
 )
@@ -40,7 +49,12 @@ func main() {
 	referencePath := flag.Bool("reference-path", false, "evaluate through the full-tail reference engine (bit-identical metrics, slower)")
 	unsharedTapes := flag.Bool("unshared-tapes", false, "record beacon tapes per problem instead of sharing the process-wide cache (bit-identical metrics)")
 	exactPhysics := flag.Bool("exact-physics", false, "reference per-call path-loss physics instead of the fused d2-space kernel (paper-exact energy bits, slower)")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory for per-(algorithm,density,run) checkpoints; re-running resumes (empty disables)")
+	checkpointEvery := flag.Int64("checkpoint-every", 1000, "evaluations between checkpoint saves")
 	flag.Parse()
+	if _, err := faultinject.ConfigureFromEnv(); err != nil {
+		log.Fatal(err)
+	}
 
 	sc, err := experiments.ScaleByName(*scaleName)
 	if err != nil {
@@ -53,6 +67,21 @@ func main() {
 	sc.ReferencePath = *referencePath
 	sc.UnsharedTapes = *unsharedTapes
 	sc.ExactPhysics = *exactPhysics
+	if *checkpointDir != "" {
+		if err := os.MkdirAll(*checkpointDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		sc.CheckpointDir = *checkpointDir
+		sc.CheckpointEvery = *checkpointEvery
+	}
+	sc.Stop = cliutil.StopOnSignals()
+	fail := func(err error) {
+		if cliutil.IsStop(err) {
+			fmt.Fprintln(os.Stderr, "interrupted: checkpoints saved; re-run with the same -checkpoint-dir to resume")
+			os.Exit(130)
+		}
+		log.Fatal(err)
+	}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, k := range strings.Split(*only, ",") {
@@ -87,7 +116,7 @@ func main() {
 		}
 		res, err := experiments.Sensitivity(sc, density, logf)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		fmt.Println(res.RenderFigure2())
 		fmt.Println(res.RenderTableI())
@@ -100,7 +129,7 @@ func main() {
 		for _, density := range sc.Densities {
 			rs, err := experiments.RunAll(sc, density, logf)
 			if err != nil {
-				log.Fatal(err)
+				fail(err)
 			}
 			var fr *experiments.FrontsResult
 			if selected("fig6") {
@@ -131,7 +160,7 @@ func main() {
 	if selected("config") {
 		res, err := experiments.ConfigAnalysis(sc, logf)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		fmt.Println(res.Render())
 		fmt.Println()
@@ -141,13 +170,13 @@ func main() {
 	if selected("ablation") {
 		ar, err := experiments.ArchiveAblation(sc, logf)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		fmt.Println(ar.Render())
 		fmt.Println()
 		pr, err := experiments.ParallelismAblation(sc, nil, logf)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		fmt.Println(pr.Render())
 		fmt.Println()
@@ -157,7 +186,7 @@ func main() {
 	if selected("memetic") {
 		mr, err := experiments.MemeticCellDE(sc, logf)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		fmt.Println(mr.Render())
 	}
@@ -168,7 +197,7 @@ func main() {
 		for _, density := range sc.Densities {
 			br, err := experiments.BeaconFidelity(sc, density, params)
 			if err != nil {
-				log.Fatal(err)
+				fail(err)
 			}
 			fmt.Println(br.Render())
 			fmt.Println()
@@ -181,7 +210,7 @@ func main() {
 		for _, density := range sc.Densities {
 			mres, err := experiments.MobilityAblation(sc, density, params)
 			if err != nil {
-				log.Fatal(err)
+				fail(err)
 			}
 			fmt.Println(mres.Render())
 			fmt.Println()
@@ -192,7 +221,7 @@ func main() {
 	if selected("spea2", "extended") {
 		er, err := experiments.ExtendedBaselines(sc, sc.Densities[0], logf)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		fmt.Println(er.Render())
 	}

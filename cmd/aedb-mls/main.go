@@ -7,6 +7,14 @@
 //	         [-evals 250] [-reset 50] [-alpha 0.2] [-committee 10]
 //	         [-neighborhood 1] [-scenario-workers 1] [-reference-path]
 //	         [-unshared-tapes] [-exact-physics]
+//	         [-checkpoint run.ckpt] [-resume run.ckpt] [-checkpoint-every 500]
+//
+// With -checkpoint the run saves crash-safe resumable state on a cadence
+// and at completion, and SIGINT/SIGTERM stop it at the next boundary
+// after saving (a second signal exits immediately). A checkpointed or
+// resumed run executes on the deterministic sequential engine, so
+// resuming an interrupted run reproduces the uninterrupted front bit for
+// bit.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"aedbmls/internal/cliutil"
 	"aedbmls/internal/core"
 	"aedbmls/internal/eval"
+	"aedbmls/internal/faultinject"
 	"aedbmls/internal/textplot"
 )
 
@@ -41,7 +50,16 @@ func main() {
 	referencePath := flag.Bool("reference-path", false, "evaluate through the full-tail reference engine (bit-identical metrics, slower)")
 	unsharedTapes := flag.Bool("unshared-tapes", false, "record beacon tapes per problem instead of sharing the process-wide cache (bit-identical metrics)")
 	exactPhysics := flag.Bool("exact-physics", false, "reference per-call path-loss physics instead of the fused d2-space kernel (paper-exact energy bits, slower)")
+	ckpt := cliutil.AddCheckpointFlags()
 	flag.Parse()
+	if _, err := faultinject.ConfigureFromEnv(); err != nil {
+		log.Fatal(err)
+	}
+	ctrl, resume, err := ckpt.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	stop := cliutil.StopOnSignals()
 
 	problem := eval.NewProblem(*density, *seed,
 		eval.WithCommittee(*committee), eval.WithScenarioWorkers(*scenarioWorkers),
@@ -56,6 +74,9 @@ func main() {
 	cfg.NeighborhoodSize = *neighborhood
 	cfg.Seed = *seed
 	cfg.Criteria = core.DefaultAEDBCriteria()
+	cfg.Checkpoint = ctrl
+	cfg.Resume = resume
+	cfg.Stop = stop
 
 	fmt.Printf("AEDB-MLS on %s: %d pops x %d workers x %d evals (%d total)\n",
 		problem.Name(), *pops, *workers, *evals, *pops**workers**evals)
@@ -63,6 +84,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	cliutil.ExitOnInterrupt(res.Interrupted, ctrl)
 	fmt.Printf("done in %s: %d evaluations, %d accepted moves, %d resets, front size %d\n\n",
 		res.Duration.Round(time.Millisecond), res.Evaluations, res.Accepted, res.Resets, len(res.Front))
 

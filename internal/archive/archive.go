@@ -15,6 +15,7 @@
 package archive
 
 import (
+	"fmt"
 	"sort"
 
 	"aedbmls/internal/moo"
@@ -325,6 +326,85 @@ func SortByObjective(sols []*moo.Solution, k int) {
 		}
 		return false
 	})
+}
+
+// Archive kind labels used by State.
+const (
+	KindAGA       = "aga"
+	KindCrowding  = "crowding"
+	KindUnbounded = "unbounded"
+)
+
+// State is a serializable description of an archive's complete behavioural
+// state: its kind, its capacity parameters, and its members in internal
+// order. Every archive in this package is a deterministic function of its
+// member slice plus those parameters — AGA's grid (bounds, cell
+// assignments, occupancy counts) is lazily recomputed from the members, and
+// the recomputation is iteration-order independent — so capturing exactly
+// these fields is sufficient for a bit-identical resume: an archive
+// restored from a State answers every future Add/Contents/Len exactly as
+// the original would have. The checkpoint layer (internal/study) persists
+// States across process boundaries.
+type State struct {
+	Kind      string
+	Capacity  int
+	Divisions int // AGA only
+	Solutions []*moo.Solution
+}
+
+// CaptureState snapshots an archive into a State. It fails on archive
+// implementations outside this package, whose internal state it cannot
+// see — checkpointing a study requires one of the stock archives.
+func CaptureState(ar Interface) (*State, error) {
+	switch a := ar.(type) {
+	case *AGA:
+		return &State{Kind: KindAGA, Capacity: a.capacity, Divisions: a.divisions, Solutions: a.Contents()}, nil
+	case *Crowding:
+		return &State{Kind: KindCrowding, Capacity: a.capacity, Solutions: a.Contents()}, nil
+	case *Unbounded:
+		return &State{Kind: KindUnbounded, Solutions: a.Contents()}, nil
+	default:
+		return nil, fmt.Errorf("archive: cannot capture state of %T (not a stock archive)", ar)
+	}
+}
+
+// RestoreState reconstructs the archive a State describes, with members in
+// the captured internal order (NOT re-inserted through Add, which could
+// evict differently). The member slice is copied.
+func RestoreState(st *State) (Interface, error) {
+	if st == nil {
+		return nil, fmt.Errorf("archive: nil state")
+	}
+	sols := append([]*moo.Solution(nil), st.Solutions...)
+	switch st.Kind {
+	case KindAGA:
+		if st.Capacity <= 0 {
+			return nil, fmt.Errorf("archive: AGA state with capacity %d", st.Capacity)
+		}
+		if len(sols) > st.Capacity {
+			return nil, fmt.Errorf("archive: AGA state holds %d members over capacity %d", len(sols), st.Capacity)
+		}
+		a := NewAGA(st.Capacity, st.Divisions)
+		a.sols = sols
+		a.dirty = true
+		return a, nil
+	case KindCrowding:
+		if st.Capacity <= 0 {
+			return nil, fmt.Errorf("archive: Crowding state with capacity %d", st.Capacity)
+		}
+		if len(sols) > st.Capacity {
+			return nil, fmt.Errorf("archive: Crowding state holds %d members over capacity %d", len(sols), st.Capacity)
+		}
+		c := NewCrowding(st.Capacity)
+		c.sols = sols
+		return c, nil
+	case KindUnbounded:
+		u := NewUnbounded()
+		u.sols = sols
+		return u, nil
+	default:
+		return nil, fmt.Errorf("archive: unknown archive kind %q", st.Kind)
+	}
 }
 
 // Server wraps an archive behind a goroutine and a request channel,

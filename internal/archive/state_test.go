@@ -1,0 +1,151 @@
+package archive
+
+import (
+	"math"
+	"testing"
+
+	"aedbmls/internal/moo"
+	"aedbmls/internal/rng"
+)
+
+// fillRandom feeds n random solutions into ar from r.
+func fillRandom(ar Interface, r *rng.Rand, n, m int) {
+	for i := 0; i < n; i++ {
+		ar.Add(randomSol(r, m))
+	}
+}
+
+// assertSameContents asserts two archives hold bit-identical members in
+// identical internal order.
+func assertSameContents(t *testing.T, want, got Interface) {
+	t.Helper()
+	ws, gs := want.Contents(), got.Contents()
+	if len(ws) != len(gs) {
+		t.Fatalf("archive sizes differ: want %d, got %d", len(ws), len(gs))
+	}
+	for i := range ws {
+		for k := range ws[i].F {
+			if math.Float64bits(ws[i].F[k]) != math.Float64bits(gs[i].F[k]) {
+				t.Fatalf("member %d objective %d differs: %v vs %v", i, k, ws[i].F, gs[i].F)
+			}
+		}
+		for k := range ws[i].X {
+			if math.Float64bits(ws[i].X[k]) != math.Float64bits(gs[i].X[k]) {
+				t.Fatalf("member %d variable %d differs: %v vs %v", i, k, ws[i].X, gs[i].X)
+			}
+		}
+	}
+}
+
+// TestStateRoundTripContinuation is the property the checkpoint layer
+// leans on: capture an archive mid-stream, restore it, then feed original
+// and restored the same remaining stream — every subsequent Add decision
+// and the final contents must be bit-identical.
+func TestStateRoundTripContinuation(t *testing.T) {
+	archives := []struct {
+		name     string
+		capacity int
+		mk       func() Interface
+	}{
+		{"aga", 20, func() Interface { return NewAGA(20, 5) }},
+		{"crowding", 20, func() Interface { return NewCrowding(20) }},
+		{"unbounded", 0, func() Interface { return NewUnbounded() }},
+	}
+	for _, tc := range archives {
+		t.Run(tc.name, func(t *testing.T) {
+			orig := tc.mk()
+			fillRandom(orig, rng.New(7), 300, 3)
+
+			st, err := CaptureState(orig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored, err := RestoreState(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameContents(t, orig, restored)
+
+			// Continue both with an identical stream; decisions must agree.
+			ra, rb := rng.New(99), rng.New(99)
+			for i := 0; i < 300; i++ {
+				sa, sb := randomSol(ra, 3), randomSol(rb, 3)
+				ina, inb := orig.Add(sa), restored.Add(sb)
+				if ina != inb {
+					t.Fatalf("add %d: original accepted=%v, restored accepted=%v", i, ina, inb)
+				}
+			}
+			assertSameContents(t, orig, restored)
+			checkInvariants(t, restored, tc.capacity)
+		})
+	}
+}
+
+// TestStateRoundTripPreservesParameters verifies capacity and divisions
+// survive the trip (a restored AGA must evict with the same grid).
+func TestStateRoundTripPreservesParameters(t *testing.T) {
+	a := NewAGA(10, 8)
+	fillRandom(a, rng.New(3), 50, 2)
+	st, err := CaptureState(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != KindAGA || st.Capacity != 10 || st.Divisions != 8 {
+		t.Fatalf("captured state %+v lost parameters", st)
+	}
+	got, err := RestoreState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := got.(*AGA)
+	if b.capacity != 10 || b.divisions != 8 {
+		t.Fatalf("restored AGA has capacity=%d divisions=%d", b.capacity, b.divisions)
+	}
+
+	c := NewCrowding(15)
+	fillRandom(c, rng.New(4), 50, 2)
+	stc, err := CaptureState(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotc, err := RestoreState(stc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotc.(*Crowding).capacity != 15 {
+		t.Fatalf("restored Crowding has capacity=%d", gotc.(*Crowding).capacity)
+	}
+}
+
+// TestStateRejectsMalformed checks the decoder-side validation RestoreState
+// gives the checkpoint loader.
+func TestStateRejectsMalformed(t *testing.T) {
+	sols := []*moo.Solution{sol(1, 2), sol(2, 1)}
+	bad := []*State{
+		nil,
+		{Kind: "martian"},
+		{Kind: KindAGA, Capacity: 0, Divisions: 5},
+		{Kind: KindAGA, Capacity: 1, Divisions: 5, Solutions: sols},
+		{Kind: KindCrowding, Capacity: 0},
+		{Kind: KindCrowding, Capacity: 1, Solutions: sols},
+	}
+	for i, st := range bad {
+		if _, err := RestoreState(st); err == nil {
+			t.Errorf("case %d: RestoreState accepted malformed state %+v", i, st)
+		}
+	}
+}
+
+// TestCaptureStateRejectsForeignArchive ensures archives this package does
+// not know how to serialize are refused, not half-captured.
+func TestCaptureStateRejectsForeignArchive(t *testing.T) {
+	if _, err := CaptureState(foreignArchive{}); err == nil {
+		t.Fatal("CaptureState accepted an unknown archive implementation")
+	}
+}
+
+type foreignArchive struct{}
+
+func (foreignArchive) Add(*moo.Solution) bool    { return false }
+func (foreignArchive) Contents() []*moo.Solution { return nil }
+func (foreignArchive) Len() int                  { return 0 }

@@ -25,7 +25,11 @@ import (
 	"aedbmls/internal/moo"
 	"aedbmls/internal/operators"
 	"aedbmls/internal/rng"
+	"aedbmls/internal/study"
 )
+
+// AlgorithmName identifies CellDE checkpoints.
+const AlgorithmName = "cellde"
 
 // Config parameterises CellDE.
 type Config struct {
@@ -52,6 +56,32 @@ type Config struct {
 	LocalSearchBatch int
 	LocalSearchAlpha float64
 	Criteria         []core.Criterion
+
+	// Checkpoint enables crash-safe checkpointing at sweep boundaries;
+	// Resume restores a matching checkpoint instead of initialising; Stop
+	// requests cooperative interruption. See internal/study for the shared
+	// protocol; resuming an interrupted run reproduces the uninterrupted
+	// result bit for bit.
+	Checkpoint *study.Controller
+	Resume     *study.Checkpoint
+	Stop       <-chan struct{}
+}
+
+// fingerprint identifies the study this config defines on problem p.
+func (c Config) fingerprint(p moo.Problem) string {
+	crit := ""
+	for _, cr := range c.Criteria {
+		crit += fmt.Sprintf("%s:%v;", cr.Name, cr.Params)
+	}
+	return study.Fingerprint(
+		"cellde-v1",
+		fmt.Sprintf("pop=%d evals=%d cr=%x f=%x cap=%d fb=%d seed=%d ls=%d lsb=%d lsa=%x",
+			c.PopSize, c.Evaluations, math.Float64bits(c.CR), math.Float64bits(c.F),
+			c.ArchiveCapacity, c.Feedback, c.Seed,
+			c.LocalSearchIters, c.LocalSearchBatch, math.Float64bits(c.LocalSearchAlpha)),
+		crit,
+		study.ProblemFingerprint(p),
+	)
 }
 
 // DefaultConfig returns the reference configuration used for the paper's
@@ -100,6 +130,9 @@ type Result struct {
 	Evaluations int64
 	Duration    time.Duration
 	Sweeps      int
+	// Interrupted is true when the run exited early because Config.Stop
+	// was closed.
+	Interrupted bool
 }
 
 // Optimize runs CellDE (or its memetic variant when the config enables
@@ -110,37 +143,87 @@ func Optimize(p moo.Problem, cfg Config) (*Result, error) {
 	}
 	side := int(math.Sqrt(float64(cfg.PopSize)))
 	n := side * side
-	r := rng.New(cfg.Seed)
 	lo, hi := p.Bounds()
-	arch := archive.NewCrowding(cfg.ArchiveCapacity)
 	start := time.Now()
-	var evals int64
+	loop := &study.Loop{Ctrl: cfg.Checkpoint, Stop: cfg.Stop}
+	interrupted := false
+	var (
+		r      *rng.Rand
+		grid   []*moo.Solution
+		arch   archive.Interface
+		evals  int64
+		sweeps int
+		done   bool // resumed from a Final checkpoint
+	)
+
+	if cp := cfg.Resume; cp != nil {
+		if err := cp.Check(AlgorithmName, cfg.fingerprint(p)); err != nil {
+			return nil, err
+		}
+		var err error
+		if grid, err = study.DecodeSolutions(cp.Grid, p.Dim(), p.NumObjectives()); err != nil {
+			return nil, err
+		}
+		if len(grid) != n {
+			return nil, fmt.Errorf("cellde: checkpoint grid has %d cells, config wants %d", len(grid), n)
+		}
+		if arch, err = study.DecodeArchive(cp.Archive, p.Dim(), p.NumObjectives()); err != nil {
+			return nil, err
+		}
+		r = cp.RNG.Rand()
+		evals = cp.Evaluations
+		sweeps = int(cp.Iteration)
+		done = cp.Final
+	} else {
+		r = rng.New(cfg.Seed)
+		arch = archive.NewCrowding(cfg.ArchiveCapacity)
+
+		// The initial grid is one batched evaluation; the sweeps below
+		// stay sequential by design — CellDE is an asynchronous cellular
+		// GA, so each cell's variation depends on offspring already placed
+		// this sweep, which admits no batching without changing the
+		// algorithm.
+		xs := make([][]float64, n)
+		for i := range xs {
+			xs[i] = operators.RandomVector(lo, hi, r)
+		}
+		grid = moo.EvaluateAll(p, xs)
+		evals += int64(n)
+		for i := range grid {
+			if grid[i].Feasible() {
+				arch.Add(grid[i])
+			}
+		}
+	}
 
 	evaluate := func(x []float64) *moo.Solution {
 		evals++
 		return moo.NewSolution(p, x)
 	}
 
-	// The initial grid is one batched evaluation; the sweeps below stay
-	// sequential by design — CellDE is an asynchronous cellular GA, so
-	// each cell's variation depends on offspring already placed this
-	// sweep, which admits no batching without changing the algorithm.
-	xs := make([][]float64, n)
-	for i := range xs {
-		xs[i] = operators.RandomVector(lo, hi, r)
-	}
-	grid := moo.EvaluateAll(p, xs)
-	evals += int64(n)
-	for i := range grid {
-		if grid[i].Feasible() {
-			arch.Add(grid[i])
+	// encode snapshots the sweep boundary state.
+	encode := func() *study.Checkpoint {
+		ast, _ := study.EncodeArchive(arch)
+		return &study.Checkpoint{
+			Algorithm:   AlgorithmName,
+			Fingerprint: cfg.fingerprint(p),
+			Evaluations: evals,
+			Iteration:   int64(sweeps),
+			RNG:         study.StateOf(r),
+			Grid:        study.EncodeSolutions(grid),
+			Archive:     ast,
 		}
 	}
 
 	neighbors := mooreNeighbors(side)
-	sweeps := 0
 	budget := int64(cfg.Evaluations)
-	for evals < budget {
+	for !done && evals < budget {
+		if stopped, err := loop.Boundary(encode); err != nil {
+			return nil, err
+		} else if stopped {
+			interrupted = true
+			break
+		}
 		sweeps++
 		for i := 0; i < n && evals < budget; i++ {
 			cur := grid[i]
@@ -174,12 +257,18 @@ func Optimize(p moo.Problem, cfg Config) (*Result, error) {
 			grid[r.Intn(n)] = contents[r.Intn(len(contents))].Clone()
 		}
 	}
+	if !done && !interrupted {
+		if err := loop.Finish(encode); err != nil {
+			return nil, err
+		}
+	}
 
 	res := &Result{
 		Population:  grid,
 		Evaluations: evals,
 		Duration:    time.Since(start),
 		Sweeps:      sweeps,
+		Interrupted: interrupted,
 	}
 	res.Front = arch.Contents()
 	if len(res.Front) == 0 {

@@ -6,8 +6,14 @@
 package cliutil
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"aedbmls/internal/study"
 )
 
 // SetUsage installs a flag.Usage that prints a named header paragraph
@@ -19,3 +25,82 @@ func SetUsage(name, description string) {
 		flag.PrintDefaults()
 	}
 }
+
+// StopOnSignals returns a channel that is closed on the first SIGINT or
+// SIGTERM — the optimizers then exit at their next iteration boundary,
+// writing a consistent checkpoint first when one is configured. A second
+// signal skips the graceful path and exits immediately with status 130.
+func StopOnSignals() <-chan struct{} {
+	stop := make(chan struct{})
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		fmt.Fprintln(os.Stderr, "\nsignal received: stopping at the next boundary (checkpoint will be saved; signal again to exit immediately)")
+		close(stop)
+		<-ch
+		os.Exit(130)
+	}()
+	return stop
+}
+
+// CheckpointFlags holds the shared -checkpoint/-resume/-checkpoint-every
+// command-line surface.
+type CheckpointFlags struct {
+	Path   string
+	Resume string
+	Every  int64
+}
+
+// AddCheckpointFlags registers the three checkpoint flags on the default
+// FlagSet. Call before flag.Parse.
+func AddCheckpointFlags() *CheckpointFlags {
+	cf := &CheckpointFlags{}
+	flag.StringVar(&cf.Path, "checkpoint", "", "checkpoint file path; written atomically every -checkpoint-every evaluations and at completion")
+	flag.StringVar(&cf.Resume, "resume", "", "resume from this checkpoint file (implies -checkpoint to the same path unless set)")
+	flag.Int64Var(&cf.Every, "checkpoint-every", 500, "evaluations between checkpoint saves (0: only the final checkpoint)")
+	return cf
+}
+
+// Build resolves the flags into a save controller and a loaded resume
+// checkpoint (either may be nil). -resume with no -checkpoint continues
+// checkpointing to the resumed file.
+func (cf *CheckpointFlags) Build() (*study.Controller, *study.Checkpoint, error) {
+	path := cf.Path
+	var resume *study.Checkpoint
+	if cf.Resume != "" {
+		cp, err := study.Load(cf.Resume)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cannot resume: %w", err)
+		}
+		resume = cp
+		if path == "" {
+			path = cf.Resume
+		}
+	}
+	if path == "" {
+		return nil, nil, nil
+	}
+	return &study.Controller{Path: path, Every: cf.Every}, resume, nil
+}
+
+// ExitOnInterrupt prints the standard interruption notice and exits with
+// the conventional SIGINT status when the optimizer reported an
+// interrupted run; it is a no-op otherwise.
+func ExitOnInterrupt(interrupted bool, ctrl *study.Controller) {
+	if !interrupted {
+		return
+	}
+	if ctrl.Enabled() && ctrl.Saves() > 0 {
+		fmt.Fprintf(os.Stderr, "interrupted: resumable checkpoint saved at %s (use -resume %s)\n", ctrl.Path, ctrl.Path)
+	} else if ctrl.Enabled() {
+		fmt.Fprintln(os.Stderr, "interrupted before the first checkpoint boundary: nothing saved")
+	} else {
+		fmt.Fprintln(os.Stderr, "interrupted: no checkpoint configured, progress discarded")
+	}
+	os.Exit(130)
+}
+
+// IsStop reports whether an error is (or wraps) the cooperative-stop
+// sentinel shared by the optimizers and experiment drivers.
+func IsStop(err error) bool { return errors.Is(err, study.ErrStop) }

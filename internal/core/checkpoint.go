@@ -1,0 +1,34 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"aedbmls/internal/moo"
+	"aedbmls/internal/study"
+)
+
+// fingerprint identifies the study this config defines on problem p:
+// every knob that changes the search trajectory, plus the problem's own
+// identity. Perf-only settings stay out so a resume may, e.g., change
+// evaluation parallelism.
+func (c Config) fingerprint(p moo.Problem) string {
+	criteria := c.Criteria
+	if len(criteria) == 0 {
+		criteria = PerDimensionCriteria(p.Dim())
+	}
+	crit := make([]string, len(criteria))
+	for i, cr := range criteria {
+		crit[i] = fmt.Sprintf("%s:%v", cr.Name, cr.Params)
+	}
+	return study.Fingerprint(
+		"aedb-mls-v1",
+		fmt.Sprintf("pops=%d workers=%d epw=%d reset=%d alpha=%x cap=%d div=%d hood=%d seed=%d",
+			c.Populations, c.Workers, c.EvalsPerWorker, c.ResetPeriod,
+			math.Float64bits(c.Alpha), c.ArchiveCapacity, c.GridDivisions,
+			c.neighborhood(), c.Seed),
+		strings.Join(crit, ";"),
+		study.ProblemFingerprint(p),
+	)
+}

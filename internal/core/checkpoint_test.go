@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"aedbmls/internal/benchproblems"
+	"aedbmls/internal/moo"
+	"aedbmls/internal/study"
+)
+
+// sameFronts asserts two fronts are bit-identical (order included: both
+// runs sort by objective 0 and any residual tie order must also match,
+// since the resumed run claims to BE the uninterrupted run).
+func sameFronts(t *testing.T, want, got []*moo.Solution) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("front sizes differ: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		for j := range want[i].X {
+			if math.Float64bits(want[i].X[j]) != math.Float64bits(got[i].X[j]) {
+				t.Fatalf("solution %d: X[%d] = %v vs %v", i, j, want[i].X[j], got[i].X[j])
+			}
+		}
+		for j := range want[i].F {
+			if math.Float64bits(want[i].F[j]) != math.Float64bits(got[i].F[j]) {
+				t.Fatalf("solution %d: F[%d] = %v vs %v", i, j, want[i].F[j], got[i].F[j])
+			}
+		}
+	}
+}
+
+// interruptAfterFirstDueSave builds a controller that saves on cadence and
+// asks the optimizer to stop right after the first non-final save lands.
+func interruptAfterFirstDueSave(path string, every int64) *study.Controller {
+	return &study.Controller{Path: path, Every: every, AfterSave: func(cp *study.Checkpoint) error {
+		if cp.Final {
+			return nil
+		}
+		return study.ErrStop
+	}}
+}
+
+// TestCheckpointResumeEquivalence is the tentpole property for AEDB-MLS:
+// interrupt a checkpointed run mid-flight, resume it from the file, and
+// the final front (and every counter) is bit-identical to the
+// uninterrupted golden run.
+func TestCheckpointResumeEquivalence(t *testing.T) {
+	p := benchproblems.ZDT1(6)
+	cfg := TestConfig()
+	cfg.Seed = 99
+
+	golden, err := OptimizeSequential(p, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "mls.ckpt")
+	icfg := cfg
+	icfg.Checkpoint = interruptAfterFirstDueSave(path, 40)
+	ires, err := OptimizeSequential(p, icfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ires.Interrupted {
+		t.Fatal("run with stop-requesting hook did not report Interrupted")
+	}
+	if ires.Evaluations >= golden.Evaluations {
+		t.Fatalf("interrupted run spent the whole budget (%d)", ires.Evaluations)
+	}
+
+	cp, err := study.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := cfg
+	rcfg.Resume = cp
+	rres, err := OptimizeSequential(p, rcfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameFronts(t, golden.Front, rres.Front)
+	if rres.Evaluations != golden.Evaluations || rres.Accepted != golden.Accepted || rres.Resets != golden.Resets {
+		t.Fatalf("counters diverged: resumed {%d %d %d}, golden {%d %d %d}",
+			rres.Evaluations, rres.Accepted, rres.Resets,
+			golden.Evaluations, golden.Accepted, golden.Resets)
+	}
+}
+
+// TestCheckpointFinalShortCircuit: resuming a completed study does not
+// re-run anything — it reassembles the same result from the Final
+// checkpoint.
+func TestCheckpointFinalShortCircuit(t *testing.T) {
+	p := benchproblems.ZDT1(6)
+	cfg := TestConfig()
+	cfg.Seed = 7
+
+	path := filepath.Join(t.TempDir(), "mls.ckpt")
+	ccfg := cfg
+	ccfg.Checkpoint = &study.Controller{Path: path} // Every=0: Final save only
+	golden, err := OptimizeSequential(p, ccfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := study.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cp.Final {
+		t.Fatal("completed run did not mark its checkpoint Final")
+	}
+	rcfg := cfg
+	rcfg.Resume = cp
+	rres, err := OptimizeSequential(p, rcfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameFronts(t, golden.Front, rres.Front)
+	if rres.Evaluations != golden.Evaluations {
+		t.Fatalf("final resume re-spent budget: %d vs %d", rres.Evaluations, golden.Evaluations)
+	}
+}
+
+// TestOptimizeDelegatesWhenCheckpointed: the parallel entry point routes
+// checkpointed runs through the sequential engine, so its result matches
+// the sequential golden bit for bit.
+func TestOptimizeDelegatesWhenCheckpointed(t *testing.T) {
+	p := benchproblems.ZDT1(6)
+	cfg := TestConfig()
+	cfg.Seed = 13
+
+	golden, err := OptimizeSequential(p, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := cfg
+	ccfg.Checkpoint = &study.Controller{Path: filepath.Join(t.TempDir(), "mls.ckpt")}
+	got, err := Optimize(p, ccfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameFronts(t, golden.Front, got.Front)
+}
+
+// TestResumeRefusesMismatchedStudy: a checkpoint from one study must not
+// seed a different one.
+func TestResumeRefusesMismatchedStudy(t *testing.T) {
+	p := benchproblems.ZDT1(6)
+	cfg := TestConfig()
+	cfg.Seed = 5
+	path := filepath.Join(t.TempDir(), "mls.ckpt")
+	ccfg := cfg
+	ccfg.Checkpoint = interruptAfterFirstDueSave(path, 40)
+	if _, err := OptimizeSequential(p, ccfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := study.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	other := cfg
+	other.Seed = 6 // different study
+	other.Resume = cp
+	if _, err := OptimizeSequential(p, other, nil); err == nil {
+		t.Fatal("resume accepted a checkpoint with a foreign fingerprint")
+	}
+	wrongProblem := cfg
+	wrongProblem.Resume = cp
+	if _, err := OptimizeSequential(benchproblems.ZDT2(6), wrongProblem, nil); err == nil {
+		t.Fatal("resume accepted a checkpoint from a different problem")
+	}
+}
+
+// TestStopWithoutCheckpointInterrupts: a closed Stop channel alone (no
+// controller) exits cleanly at a boundary with Interrupted set, in both
+// engines.
+func TestStopWithoutCheckpointInterrupts(t *testing.T) {
+	p := benchproblems.ZDT1(6)
+	cfg := TestConfig()
+	stop := make(chan struct{})
+	close(stop)
+	cfg.Stop = stop
+	res, err := OptimizeSequential(p, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("sequential: closed stop channel not reported as Interrupted")
+	}
+	pres, err := Optimize(p, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pres.Interrupted {
+		t.Fatal("parallel: closed stop channel not reported as Interrupted")
+	}
+}

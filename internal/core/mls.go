@@ -28,6 +28,7 @@ import (
 	"aedbmls/internal/moo"
 	"aedbmls/internal/operators"
 	"aedbmls/internal/rng"
+	"aedbmls/internal/study"
 )
 
 // Criterion is one search criterion: the subset of decision variables a
@@ -101,6 +102,24 @@ type Config struct {
 	NeighborhoodSize int
 	// Seed drives all randomness.
 	Seed uint64
+	// Checkpoint, when non-nil with a Path, enables crash-safe periodic
+	// checkpointing. Checkpointing (and Resume) force the deterministic
+	// sequential engine: Optimize delegates to OptimizeSequential, because
+	// the threaded schedule is not replayable. The archive must be one of
+	// the stock implementations (AGA, crowding, unbounded).
+	Checkpoint *study.Controller
+	// Resume, when non-nil, restores a previous run's state instead of
+	// initialising: the checkpoint's fingerprint must match this config
+	// and problem, and any caller-supplied archive is ignored in favour of
+	// the checkpointed one. Resuming an interrupted run and letting it
+	// finish produces the same final front, bit for bit, as the
+	// uninterrupted run.
+	Resume *study.Checkpoint
+	// Stop, when non-nil, requests cooperative interruption: close it and
+	// the optimizer exits at the next iteration boundary after writing a
+	// consistent checkpoint (when Checkpoint is enabled), marking the
+	// result Interrupted.
+	Stop <-chan struct{}
 }
 
 // DefaultConfig returns the paper-scale configuration.
@@ -169,6 +188,9 @@ type Result struct {
 	Resets int64
 	// Duration is the wall-clock optimisation time.
 	Duration time.Duration
+	// Interrupted is true when the run exited early because Config.Stop
+	// was closed (the front then reflects the last completed boundary).
+	Interrupted bool
 }
 
 // Optimize runs AEDB-MLS on problem p. The archive may be overridden (for
@@ -177,6 +199,11 @@ type Result struct {
 func Optimize(p moo.Problem, cfg Config, arch archive.Interface) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Checkpoint.Enabled() || cfg.Resume != nil {
+		// Checkpoint state must be replayable; the threaded schedule is
+		// not. The sequential engine runs the identical algorithm.
+		return OptimizeSequential(p, cfg, arch)
 	}
 	criteria := cfg.Criteria
 	if len(criteria) == 0 {
@@ -217,6 +244,7 @@ func Optimize(p moo.Problem, cfg Config, arch archive.Interface) (*Result, error
 				barrier: bar,
 				archive: server,
 				rng:     master.Split(),
+				stop:    cfg.Stop,
 				evals:   &evals, accepted: &accepted, resets: &resets,
 			}
 			go func() {
@@ -247,6 +275,7 @@ func Optimize(p moo.Problem, cfg Config, arch archive.Interface) (*Result, error
 	res.Evaluations = evals.Load()
 	res.Accepted = accepted.Load()
 	res.Resets = resets.Load()
+	res.Interrupted = study.Stopped(cfg.Stop)
 	res.Duration = time.Since(start)
 	archive.SortByObjective(res.Front, 0)
 	return res, nil
@@ -263,6 +292,7 @@ type worker struct {
 	barrier  *barrier
 	archive  *archive.Server
 	rng      *rng.Rand
+	stop     <-chan struct{}
 
 	evals, accepted, resets *atomic.Int64
 	spent                   int
@@ -297,6 +327,9 @@ func (w *worker) run() {
 
 	iter := 0
 	for w.spent < w.cfg.EvalsPerWorker { // line 5: stopping condition
+		if study.Stopped(w.stop) {
+			return // deferred Leave keeps peers' barriers consistent
+		}
 		iter++
 		// Line 6: random reference solution from the local population.
 		t := w.pop.sample(w.rng)
@@ -342,6 +375,9 @@ func (w *worker) run() {
 // random solutions).
 func (w *worker) initialise() *moo.Solution {
 	for w.spent < w.cfg.EvalsPerWorker {
+		if study.Stopped(w.stop) {
+			return nil
+		}
 		s := w.evaluate(operators.RandomVector(w.lo, w.hi, w.rng))
 		if s.Feasible() {
 			return s

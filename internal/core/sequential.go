@@ -1,13 +1,18 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"aedbmls/internal/archive"
 	"aedbmls/internal/moo"
 	"aedbmls/internal/operators"
 	"aedbmls/internal/rng"
+	"aedbmls/internal/study"
 )
+
+// AlgorithmName identifies AEDB-MLS checkpoints.
+const AlgorithmName = "aedb-mls"
 
 // OptimizeSequential executes the AEDB-MLS algorithm with the exact same
 // structure as Optimize — populations, per-worker budgets, search
@@ -19,7 +24,9 @@ import (
 // this variant is bit-for-bit reproducible for a given seed regardless of
 // GOMAXPROCS, which makes it the right tool for regression baselines and
 // debugging. It is also the honest 1-core baseline for speedup
-// measurements.
+// measurements, and — because every round boundary is a complete,
+// replayable state — the engine behind checkpoint/resume (Config.
+// Checkpoint / Config.Resume) and cooperative interruption (Config.Stop).
 func OptimizeSequential(p moo.Problem, cfg Config, arch archive.Interface) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -28,16 +35,99 @@ func OptimizeSequential(p moo.Problem, cfg Config, arch archive.Interface) (*Res
 	if len(criteria) == 0 {
 		criteria = PerDimensionCriteria(p.Dim())
 	}
-	if arch == nil {
-		arch = archive.NewAGA(cfg.ArchiveCapacity, cfg.GridDivisions)
-	}
-	master := rng.New(cfg.Seed)
-	archRng := master.Split() // mirrors the archive server's stream
-	lo, hi := p.Bounds()
 
 	res := &Result{}
 	start := time.Now()
+	loop := &study.Loop{Ctrl: cfg.Checkpoint, Stop: cfg.Stop}
 
+	var (
+		archRng *rng.Rand
+		pops    [][]*vworker
+		round   int64
+		done    bool // resumed from a Final checkpoint: nothing left to run
+	)
+	if cp := cfg.Resume; cp != nil {
+		if err := cp.Check(AlgorithmName, cfg.fingerprint(p)); err != nil {
+			return nil, err
+		}
+		restored, err := study.DecodeArchive(cp.Archive, p.Dim(), p.NumObjectives())
+		if err != nil {
+			return nil, err
+		}
+		arch = restored
+		archRng = cp.RNG.Rand()
+		res.Evaluations = cp.Evaluations
+		res.Accepted = cp.Counter("accepted")
+		res.Resets = cp.Counter("resets")
+		round = cp.Iteration
+		done = cp.Final
+		if want := cfg.Populations * cfg.Workers; len(cp.Workers) != want {
+			return nil, fmt.Errorf("core: checkpoint holds %d workers, config wants %d", len(cp.Workers), want)
+		}
+		pops = make([][]*vworker, cfg.Populations)
+		for pi := range pops {
+			pops[pi] = make([]*vworker, cfg.Workers)
+			for wi := range pops[pi] {
+				ws := cp.Workers[pi*cfg.Workers+wi]
+				w := &vworker{rng: ws.RNG.Rand(), spent: ws.Spent, iter: ws.Iter}
+				if len(ws.Current.X) > 0 {
+					s, err := ws.Current.Decode(p.Dim(), p.NumObjectives())
+					if err != nil {
+						return nil, fmt.Errorf("core: worker %d/%d: %v", pi, wi, err)
+					}
+					w.s = s
+				}
+				pops[pi][wi] = w
+			}
+		}
+	} else {
+		if arch == nil {
+			arch = archive.NewAGA(cfg.ArchiveCapacity, cfg.GridDivisions)
+		}
+		master := rng.New(cfg.Seed)
+		archRng = master.Split() // mirrors the archive server's stream
+		pops = make([][]*vworker, cfg.Populations)
+		for pi := range pops {
+			pops[pi] = make([]*vworker, cfg.Workers)
+			for wi := range pops[pi] {
+				pops[pi][wi] = &vworker{rng: master.Split()}
+			}
+		}
+	}
+	if cfg.Checkpoint.Enabled() {
+		// Fail before spending budget if the archive cannot be captured
+		// (the error depends only on its concrete type).
+		if _, err := study.EncodeArchive(arch); err != nil {
+			return nil, fmt.Errorf("core: checkpointing needs a stock archive: %v", err)
+		}
+	}
+
+	// encode snapshots the boundary state: everything the loop below reads.
+	encode := func() *study.Checkpoint {
+		ast, _ := study.EncodeArchive(arch)
+		workers := make([]study.WorkerState, 0, cfg.Populations*cfg.Workers)
+		for _, pop := range pops {
+			for _, w := range pop {
+				ws := study.WorkerState{RNG: study.StateOf(w.rng), Spent: w.spent, Iter: w.iter}
+				if w.s != nil {
+					ws.Current = study.EncodeSolution(w.s)
+				}
+				workers = append(workers, ws)
+			}
+		}
+		return &study.Checkpoint{
+			Algorithm:   AlgorithmName,
+			Fingerprint: cfg.fingerprint(p),
+			Evaluations: res.Evaluations,
+			Iteration:   round,
+			Counters:    map[string]int64{"accepted": res.Accepted, "resets": res.Resets},
+			RNG:         study.StateOf(archRng),
+			Archive:     ast,
+			Workers:     workers,
+		}
+	}
+
+	lo, hi := p.Bounds()
 	evaluate := func(w *vworker, x []float64) *moo.Solution {
 		w.spent++
 		res.Evaluations++
@@ -55,32 +145,37 @@ func OptimizeSequential(p moo.Problem, cfg Config, arch archive.Interface) (*Res
 		return nil
 	}
 
-	pops := make([][]*vworker, cfg.Populations)
-	for pi := range pops {
-		pops[pi] = make([]*vworker, cfg.Workers)
-		for wi := range pops[pi] {
-			pops[pi][wi] = &vworker{rng: master.Split()}
-		}
-	}
-
-	// Initialisation phase (lines 1-4 of Fig. 3): every worker draws
-	// feasible random starts; the implicit barrier is the phase boundary.
-	for _, pop := range pops {
-		for _, w := range pop {
-			for w.spent < cfg.EvalsPerWorker {
-				s := evaluate(w, operators.RandomVector(lo, hi, w.rng))
-				if s.Feasible() {
-					w.s = s
-					arch.Add(s)
-					break
+	if cfg.Resume == nil {
+		// Initialisation phase (lines 1-4 of Fig. 3): every worker draws
+		// feasible random starts; the implicit barrier is the phase
+		// boundary. A resume never re-runs this — the restored workers
+		// already carry their post-initialisation (or later) state.
+		for _, pop := range pops {
+			for _, w := range pop {
+				for w.spent < cfg.EvalsPerWorker && !study.Stopped(cfg.Stop) {
+					s := evaluate(w, operators.RandomVector(lo, hi, w.rng))
+					if s.Feasible() {
+						w.s = s
+						arch.Add(s)
+						break
+					}
 				}
 			}
 		}
 	}
 
 	// Main loop: one round steps every live worker once, which makes the
-	// reset barriers line up exactly as in the threaded version.
-	for {
+	// reset barriers line up exactly as in the threaded version. Each
+	// round top is a checkpoint boundary (see study.Loop for the
+	// stop-consistency protocol).
+	for !done {
+		if stopped, err := loop.Boundary(encode); err != nil {
+			return nil, err
+		} else if stopped {
+			res.Interrupted = true
+			break
+		}
+		round++
 		live := 0
 		for _, pop := range pops {
 			// Snapshot of the population slots for reference sampling.
@@ -122,6 +217,11 @@ func OptimizeSequential(p moo.Problem, cfg Config, arch archive.Interface) (*Res
 		}
 		if live == 0 {
 			break
+		}
+	}
+	if !done && !res.Interrupted {
+		if err := loop.Finish(encode); err != nil {
+			return nil, err
 		}
 	}
 

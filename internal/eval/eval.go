@@ -85,14 +85,19 @@
 package eval
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"reflect"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"aedbmls/internal/aedb"
+	"aedbmls/internal/faultinject"
 	"aedbmls/internal/geom"
 	"aedbmls/internal/manet"
 	"aedbmls/internal/moo"
@@ -168,10 +173,95 @@ type Problem struct {
 	sharedTapes     bool
 	bufferReuse     bool
 	exactPhysics    bool
+	maxRetries      int
+	retryBackoff    time.Duration
+	evalTimeout     time.Duration
+	stop            <-chan struct{}
 	snaps           []warmSlot
 	tapes           []tapeSlot
 	arenas          sync.Pool
 	evals           atomic.Int64
+	health          health
+}
+
+// health is the Problem's supervision counter block (see Health).
+type health struct {
+	panics          atomic.Int64
+	errors          atomic.Int64
+	retries         atomic.Int64
+	timeouts        atomic.Int64
+	failures        atomic.Int64
+	serialFallbacks atomic.Int64
+	lastErr         atomic.Value // error
+}
+
+// Health is a snapshot of a Problem's evaluation-supervision counters.
+// A long-running study surfaces it so operators can distinguish "clean
+// run" from "run that survived N worker faults".
+type Health struct {
+	// Panics counts simulation panics recovered into errors.
+	Panics int64
+	// Errors counts non-panic evaluation errors (scenario construction
+	// failures, injected faults).
+	Errors int64
+	// Retries counts supervised re-attempts after a failure.
+	Retries int64
+	// Timeouts counts attempts abandoned at the per-evaluation timeout.
+	Timeouts int64
+	// Failures counts candidate evaluations degraded to FailedMetrics
+	// after every retry (and the serial fallback) was exhausted.
+	Failures int64
+	// SerialFallbacks counts scenario cells that failed inside a parallel
+	// wave and were re-attempted serially.
+	SerialFallbacks int64
+}
+
+// Health returns the current supervision counters.
+func (p *Problem) Health() Health {
+	return Health{
+		Panics:          p.health.panics.Load(),
+		Errors:          p.health.errors.Load(),
+		Retries:         p.health.retries.Load(),
+		Timeouts:        p.health.timeouts.Load(),
+		Failures:        p.health.failures.Load(),
+		SerialFallbacks: p.health.serialFallbacks.Load(),
+	}
+}
+
+// Err returns the most recent evaluation failure that degraded a
+// candidate, or nil if every evaluation so far succeeded.
+func (p *Problem) Err() error {
+	if e, ok := p.health.lastErr.Load().(error); ok {
+		return e
+	}
+	return nil
+}
+
+// ErrStopped marks an evaluation abandoned because the Problem's stop
+// channel (WithStop) closed. Results of the interrupted call are
+// unspecified and must be discarded by the caller; optimizers do so by
+// checking their own stop signal before applying evaluation results.
+var ErrStopped = errors.New("eval: stopped")
+
+// failedPenalty is the objective value of a degraded candidate. It is a
+// large FINITE number, not Inf/NaN: the penalty must push the candidate
+// behind every real one under constrained dominance (the huge
+// BroadcastTime makes it maximally infeasible) without poisoning
+// crowding-distance normalisation, which divides by objective ranges and
+// would turn an Inf range into NaN sort keys.
+const failedPenalty = 1e18
+
+// FailedMetrics is the deterministic penalty outcome a candidate receives
+// when its committee evaluation failed permanently (after retries and the
+// serial fallback): worst-possible on every objective and hugely
+// infeasible, so selection discards it against any genuine evaluation.
+func FailedMetrics() Metrics {
+	return Metrics{
+		EnergyDBmSum:  failedPenalty,
+		Coverage:      -failedPenalty, // objective is -Coverage: minimised, so this is worst
+		Forwardings:   failedPenalty,
+		BroadcastTime: failedPenalty,
+	}
 }
 
 // Option customises a Problem.
@@ -283,6 +373,34 @@ func WithExactPhysics(enabled bool) Option { return func(p *Problem) { p.exactPh
 // allocation behaviour. The reference path never uses arenas.
 func WithBufferReuse(enabled bool) Option { return func(p *Problem) { p.bufferReuse = enabled } }
 
+// WithMaxRetries sets how many times a failed scenario attempt (panic,
+// construction error, timeout) is retried with backoff before the
+// candidate degrades to FailedMetrics (default 1; 0 disables retries).
+// Deterministic simulations fail deterministically, so retries exist for
+// environmental failures — resource exhaustion, injected faults — not
+// logic errors.
+func WithMaxRetries(n int) Option {
+	return func(p *Problem) {
+		if n < 0 {
+			n = 0
+		}
+		p.maxRetries = n
+	}
+}
+
+// WithEvalTimeout bounds each supervised scenario attempt (default 0: no
+// timeout). A timed-out attempt counts as a failure (retried, then
+// degraded); its goroutine is abandoned and its arena is never returned
+// to the pool, so a wedged simulation cannot corrupt later evaluations.
+func WithEvalTimeout(d time.Duration) Option { return func(p *Problem) { p.evalTimeout = d } }
+
+// WithStop threads a cancellation signal into the Problem: once the
+// channel closes, committee and batch evaluations abandon their remaining
+// scenarios and return immediately. Results of interrupted calls are
+// garbage by contract — the optimizer checks the same signal at its own
+// boundaries and discards them (see ErrStopped).
+func WithStop(stop <-chan struct{}) Option { return func(p *Problem) { p.stop = stop } }
+
 // NewProblem builds the tuning problem for a density in devices/km^2
 // (100, 200 or 300 in the paper; other values scale by area). The seed
 // freezes the network committee.
@@ -303,6 +421,8 @@ func NewProblem(density int, seed uint64, opts ...Option) *Problem {
 		sharedWarmups: true,
 		sharedTapes:   true,
 		bufferReuse:   true,
+		maxRetries:    1,
+		retryBackoff:  5 * time.Millisecond,
 	}
 	for _, o := range opts {
 		o(p)
@@ -425,13 +545,149 @@ func reduceCommittee(terms []Metrics) Metrics {
 }
 
 // runCommittee evaluates the factory on every committee scenario, fanning
-// across scenario workers when configured.
+// across scenario workers when configured. A committee whose scenarios
+// cannot all be evaluated — even after supervised retries and the serial
+// fallback — degrades to FailedMetrics instead of taking down the run.
 func (p *Problem) runCommittee(factory func(*manet.Node) manet.Protocol) Metrics {
 	terms := make([]Metrics, len(p.scenarios))
+	errs := make([]error, len(p.scenarios))
 	p.forEachScenario(p.scenarioWorkers, func(i int) {
-		terms[i] = p.scenarioMetrics(factory, i)
+		terms[i], errs[i] = p.supervisedScenario(factory, i)
 	})
+	if err := p.settleCommittee(factory, terms, errs, p.scenarioWorkers > 1); err != nil {
+		return FailedMetrics()
+	}
 	return reduceCommittee(terms)
+}
+
+// settleCommittee resolves per-scenario failures after a committee pass:
+// cells that failed inside a parallel wave get one serial re-attempt
+// (resource-pressure failures often clear once the other workers are
+// quiet), and any still-failed cell degrades the whole committee. The
+// first surviving error is recorded in the health block and returned.
+// A stop-induced abandonment is returned without touching the failure
+// counters — the caller is discarding the result anyway.
+func (p *Problem) settleCommittee(factory func(*manet.Node) manet.Protocol, terms []Metrics, errs []error, wasParallel bool) error {
+	for i, err := range errs {
+		if err == nil || errors.Is(err, ErrStopped) {
+			continue
+		}
+		if wasParallel {
+			p.health.serialFallbacks.Add(1)
+			terms[i], errs[i] = p.supervisedScenario(factory, i)
+		}
+	}
+	for _, err := range errs {
+		if errors.Is(err, ErrStopped) {
+			return err
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			p.health.failures.Add(1)
+			p.health.lastErr.Store(fmt.Errorf("eval: committee degraded at scenario %d: %w", i, err))
+			return err
+		}
+	}
+	return nil
+}
+
+// supervisedScenario runs one (candidate, scenario) cell under the
+// supervisor: panics recover into errors, each failed attempt is retried
+// up to maxRetries times with exponential backoff, and attempts are
+// bounded by the per-evaluation timeout when one is configured.
+func (p *Problem) supervisedScenario(factory func(*manet.Node) manet.Protocol, i int) (Metrics, error) {
+	var lastErr error
+	for attempt := 0; attempt <= p.maxRetries; attempt++ {
+		if stopRequested(p.stop) {
+			return Metrics{}, ErrStopped
+		}
+		if attempt > 0 {
+			p.health.retries.Add(1)
+			time.Sleep(p.retryBackoff << (attempt - 1))
+		}
+		m, err := p.attemptScenario(factory, i)
+		if err == nil {
+			return m, nil
+		}
+		if errors.Is(err, ErrStopped) {
+			return Metrics{}, err
+		}
+		p.health.errors.Add(1)
+		lastErr = err
+	}
+	return Metrics{}, lastErr
+}
+
+// attemptScenario is one bounded attempt of a cell. With no timeout it
+// runs inline; with one it runs in a goroutine that is abandoned (along
+// with its arena) when the deadline passes.
+func (p *Problem) attemptScenario(factory func(*manet.Node) manet.Protocol, i int) (Metrics, error) {
+	if p.evalTimeout <= 0 {
+		return p.recoverScenario(factory, i)
+	}
+	type outcome struct {
+		m   Metrics
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		m, err := p.recoverScenario(factory, i)
+		ch <- outcome{m, err}
+	}()
+	timer := time.NewTimer(p.evalTimeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.m, o.err
+	case <-timer.C:
+		p.health.timeouts.Add(1)
+		return Metrics{}, fmt.Errorf("eval: scenario %d attempt exceeded %v", i, p.evalTimeout)
+	}
+}
+
+// recoverScenario runs the raw cell with panic recovery. The arena is
+// acquired inside the attempt and only returned to the pool on full
+// success: a panicked, failed or timed-out attempt abandons its arena,
+// so a partially mutated buffer set can never serve a later simulation.
+func (p *Problem) recoverScenario(factory func(*manet.Node) manet.Protocol, i int) (m Metrics, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.health.panics.Add(1)
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("eval: scenario %d panicked: %w", i, e)
+			} else {
+				err = fmt.Errorf("eval: scenario %d panicked: %v", i, r)
+			}
+		}
+	}()
+	var snap *manet.Snapshot
+	var tape *manet.BeaconTape
+	if p.warmStart {
+		snap = p.snapshot(i)
+		if snap != nil && !p.referencePath {
+			tape = p.tapeFor(i, snap)
+		}
+	}
+	var arena *manet.Arena
+	if snap != nil && !p.referencePath {
+		arena = p.getArena()
+	}
+	m, err = p.simulateScenario(factory, i, snap, tape, arena)
+	if err == nil {
+		p.putArena(arena)
+	}
+	return m, err
+}
+
+// stopRequested reports whether a stop channel has closed (nil: never).
+func stopRequested(stop <-chan struct{}) bool {
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
 }
 
 // forEachScenario runs fn(i) for every committee scenario index, across
@@ -722,45 +978,49 @@ func (p *Problem) WarmStartError() error {
 	return nil
 }
 
-// scenarioMetrics simulates a single committee network under the given
+// simulateScenario simulates a single committee network under the given
 // protocol factory and returns its term of the committee average. The
 // default engine replays the scenario's beacon tape into an arena-backed
 // instantiation and stops at broadcast quiescence; the reference engine
-// (WithReferencePath) runs the allocating full-tail simulation.
-func (p *Problem) scenarioMetrics(factory func(*manet.Node) manet.Protocol, i int) Metrics {
+// (WithReferencePath) runs the allocating full-tail simulation; with no
+// usable snapshot the scenario is rebuilt from scratch, and a
+// construction failure is returned as an error (degrading that candidate)
+// rather than panicking the process. The faultinject sites let the
+// robustness tests stand in for organic failures at both boundaries.
+func (p *Problem) simulateScenario(factory func(*manet.Node) manet.Protocol, i int, snap *manet.Snapshot, tape *manet.BeaconTape, arena *manet.Arena) (Metrics, error) {
+	if err := faultinject.Do(faultinject.SiteEvalScenario); err != nil {
+		return Metrics{}, err
+	}
 	sc := p.scenarios[i]
-	if p.warmStart {
-		if snap := p.snapshot(i); snap != nil {
-			if p.referencePath {
-				net, st := snap.Instantiate(factory, sc.source, p.cfg.WarmupTime)
-				net.Run()
-				return scenarioTerm(st, net)
-			}
-			arena := p.getArena()
-			var net *manet.Network
-			var st *manet.BroadcastStats
-			if tape := p.tapeFor(i, snap); tape != nil {
-				net, st = snap.InstantiateReplayInto(arena, factory, sc.source, p.cfg.WarmupTime, tape)
-			} else {
-				net, st = snap.InstantiateInto(arena, factory, sc.source, p.cfg.WarmupTime)
-			}
+	var net *manet.Network
+	var st *manet.BroadcastStats
+	switch {
+	case tape != nil:
+		net, st = snap.InstantiateReplayInto(arena, factory, sc.source, p.cfg.WarmupTime, tape)
+		net.RunToQuiescence()
+	case snap != nil && p.referencePath:
+		net, st = snap.Instantiate(factory, sc.source, p.cfg.WarmupTime)
+		net.Run()
+	case snap != nil:
+		net, st = snap.InstantiateInto(arena, factory, sc.source, p.cfg.WarmupTime)
+		net.RunToQuiescence()
+	default:
+		if err := faultinject.Do(faultinject.SiteEvalBuild); err != nil {
+			return Metrics{}, err
+		}
+		var err error
+		net, err = manet.New(p.cfg, sc.seed, factory)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("eval: scenario %d construction failed: %w", i, err)
+		}
+		st = net.StartBroadcast(sc.source, p.cfg.WarmupTime)
+		if p.referencePath {
+			net.Run()
+		} else {
 			net.RunToQuiescence()
-			m := scenarioTerm(st, net)
-			p.putArena(arena)
-			return m
 		}
 	}
-	net, err := manet.New(p.cfg, sc.seed, factory)
-	if err != nil {
-		panic(fmt.Sprintf("eval: scenario construction failed: %v", err))
-	}
-	st := net.StartBroadcast(sc.source, p.cfg.WarmupTime)
-	if p.referencePath {
-		net.Run()
-	} else {
-		net.RunToQuiescence()
-	}
-	return scenarioTerm(st, net)
+	return scenarioTerm(st, net), nil
 }
 
 // getArena checks an instantiation arena out of the Problem's pool (nil
@@ -812,11 +1072,22 @@ func (p *Problem) EvaluateBatch(xs [][]float64) []moo.BatchResult {
 	}
 	s := len(p.scenarios)
 	terms := make([]Metrics, n*s) // terms[j*s+i]: candidate j, scenario i
-	p.forEachScenario(p.batchWorkerCount(), func(i int) { p.batchWave(factories, i, terms) })
+	errs := make([]error, n*s)
+	workers := p.batchWorkerCount()
+	p.forEachScenario(workers, func(i int) { p.batchWave(factories, i, terms, errs) })
 
+	// Settle failures candidate by candidate: failed cells from parallel
+	// waves get one serial re-attempt; a candidate with any cell still
+	// failing degrades to the penalty outcome, leaving the rest of the
+	// batch untouched.
 	out := make([]moo.BatchResult, n)
 	for j := range out {
-		m := reduceCommittee(terms[j*s : (j+1)*s])
+		var m Metrics
+		if err := p.settleCommittee(factories[j], terms[j*s:(j+1)*s], errs[j*s:(j+1)*s], workers > 1); err != nil {
+			m = FailedMetrics()
+		} else {
+			m = reduceCommittee(terms[j*s : (j+1)*s])
+		}
 		viol := m.BroadcastTime - BroadcastTimeLimit
 		if viol < 0 {
 			viol = 0
@@ -845,55 +1116,22 @@ func (p *Problem) batchWorkerCount() int {
 
 // batchWave streams every candidate of the batch through committee
 // scenario i — one snapshot-clone wave. On the default engine the wave
-// records (once, cached on the Problem) the scenario's beacon tape,
-// instantiates replay networks with beacon events stripped into one
-// arena reused across the whole wave, and stops each simulation at
-// broadcast quiescence. The reference engine runs every candidate through
-// the allocating full-tail path.
-func (p *Problem) batchWave(factories []func(*manet.Node) manet.Protocol, i int, terms []Metrics) {
+// resolves (once, cached on the Problem) the scenario's warm snapshot and
+// beacon tape, instantiates replay networks into pool-recycled arenas and
+// stops each simulation at broadcast quiescence; the reference engine
+// runs every candidate through the allocating full-tail path. Every cell
+// runs under the supervisor, so one candidate's failure is recorded in
+// errs and the wave moves on (a failed cell's arena is abandoned, never
+// re-pooled — see recoverScenario).
+func (p *Problem) batchWave(factories []func(*manet.Node) manet.Protocol, i int, terms []Metrics, errs []error) {
 	s := len(p.scenarios)
-	sc := p.scenarios[i]
-	var snap *manet.Snapshot
-	var tape *manet.BeaconTape
-	if p.warmStart {
-		snap = p.snapshot(i)
-		if snap != nil && !p.referencePath {
-			tape = p.tapeFor(i, snap)
-		}
-	}
-	var arena *manet.Arena
-	if !p.referencePath {
-		arena = p.getArena()
-	}
 	for j, factory := range factories {
-		var st *manet.BroadcastStats
-		var net *manet.Network
-		switch {
-		case tape != nil:
-			net, st = snap.InstantiateReplayInto(arena, factory, sc.source, p.cfg.WarmupTime, tape)
-			net.RunToQuiescence()
-		case snap != nil && p.referencePath:
-			net, st = snap.Instantiate(factory, sc.source, p.cfg.WarmupTime)
-			net.Run()
-		case snap != nil:
-			net, st = snap.InstantiateInto(arena, factory, sc.source, p.cfg.WarmupTime)
-			net.RunToQuiescence()
-		default:
-			var err error
-			net, err = manet.New(p.cfg, sc.seed, factory)
-			if err != nil {
-				panic(fmt.Sprintf("eval: scenario construction failed: %v", err))
-			}
-			st = net.StartBroadcast(sc.source, p.cfg.WarmupTime)
-			if p.referencePath {
-				net.Run()
-			} else {
-				net.RunToQuiescence()
-			}
+		if stopRequested(p.stop) {
+			errs[j*s+i] = ErrStopped
+			continue
 		}
-		terms[j*s+i] = scenarioTerm(st, net)
+		terms[j*s+i], errs[j*s+i] = p.supervisedScenario(factory, i)
 	}
-	p.putArena(arena)
 }
 
 // tapeFor lazily resolves (once, thread-safely) the beacon tape of
@@ -921,6 +1159,45 @@ func (p *Problem) tapeFor(i int, snap *manet.Snapshot) *manet.BeaconTape {
 		slot.tape, _ = snap.RecordBeaconTape(p.cfg.EndTime)
 	})
 	return slot.tape
+}
+
+// Fingerprint returns a stable hex digest of the Problem's evaluation
+// identity: density, node count, committee scenarios (seeds and sources),
+// decision-space bounds, the physics arm, and the share-eligible config
+// fields (the same set sharedCfgKey compares, so two Problems with equal
+// fingerprints never mix incompatible caches). Performance knobs — worker
+// counts, cache sharing, buffer reuse, the reference path — are
+// deliberately excluded: they are all bit-identical at the Metrics level,
+// so a resumed study may legally change its parallelism. Configs carrying
+// per-scenario callbacks cannot be fingerprinted stably; their hook
+// presence is folded in and consistency across resume is on the caller.
+func (p *Problem) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(s string) {
+		binary.BigEndian.PutUint64(buf[:], uint64(len(s)))
+		h.Write(buf[:])
+		h.Write([]byte(s))
+	}
+	put("aedb-eval-v1")
+	put(fmt.Sprintf("density=%d nodes=%d committee=%d exact=%t",
+		p.density, p.cfg.NumNodes, len(p.scenarios), p.exactPhysics))
+	for _, sc := range p.scenarios {
+		put(fmt.Sprintf("seed=%d source=%d", sc.seed, sc.source))
+	}
+	lo, hi := p.domain.Bounds()
+	put(fmt.Sprintf("lo=%v hi=%v", lo, hi))
+	cfg := p.cfg
+	put(fmt.Sprintf(
+		"area=%v speed=[%v,%v,%v] radio=[%T %+v tx=%v sens=%v capt=%v rate=%v prop=%v] "+
+			"beacon=[%v to=%v fast=%t] bytes=[%d,%d] time=[%v,%v] hooks=[%t,%t,%t,%t]",
+		cfg.Area, cfg.SpeedMin, cfg.SpeedMax, cfg.ChangeInterval,
+		cfg.PathLoss, cfg.PathLoss, cfg.DefaultTxPowerDBm, cfg.SensitivityDBm,
+		cfg.CaptureThresholdDB, cfg.BitRateBps, cfg.PropagationSpeed,
+		cfg.BeaconInterval, cfg.NeighborTimeout, cfg.FastBeacons,
+		cfg.BeaconBytes, cfg.DataBytes, cfg.WarmupTime, cfg.EndTime,
+		cfg.MakeMobility != nil, cfg.OnDataTx != nil, cfg.OnDataRx != nil, cfg.OnDataLost != nil))
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // MetricsOf extracts the raw metrics attached to a solution evaluated on a

@@ -1,7 +1,11 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"aedbmls/internal/cellde"
@@ -9,6 +13,7 @@ import (
 	"aedbmls/internal/eval"
 	"aedbmls/internal/moo"
 	"aedbmls/internal/nsga2"
+	"aedbmls/internal/study"
 )
 
 // Algorithm labels in the paper's column order.
@@ -51,31 +56,53 @@ func RunAll(sc Scale, density int, log Logf) (*RunSet, error) {
 	}
 	for run := 0; run < sc.Runs; run++ {
 		seed := sc.Seed + 1000*uint64(run)
+		var err error
 
 		cfg := sc.CellDE
 		cfg.Seed = seed + 1
+		cfg.Stop = sc.Stop
+		if cfg.Checkpoint, cfg.Resume, err = sc.studyPair(AlgCellDE, density, run); err != nil {
+			return nil, err
+		}
 		cres, err := cellde.Optimize(problem, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: CellDE run %d: %w", run, err)
+		}
+		if cres.Interrupted {
+			return nil, interruptedErr(AlgCellDE, density, run)
 		}
 		rs.record(AlgCellDE, cres.Front, cres.Duration, cres.Evaluations)
 
 		ncfg := sc.NSGA
 		ncfg.Seed = seed + 2
+		ncfg.Stop = sc.Stop
+		if ncfg.Checkpoint, ncfg.Resume, err = sc.studyPair(AlgNSGAII, density, run); err != nil {
+			return nil, err
+		}
 		nres, err := nsga2.Optimize(problem, ncfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: NSGA-II run %d: %w", run, err)
+		}
+		if nres.Interrupted {
+			return nil, interruptedErr(AlgNSGAII, density, run)
 		}
 		rs.record(AlgNSGAII, nres.Front, nres.Duration, nres.Evaluations)
 
 		mcfg := sc.MLS
 		mcfg.Seed = seed + 3
+		mcfg.Stop = sc.Stop
 		if len(mcfg.Criteria) == 0 {
 			mcfg.Criteria = core.DefaultAEDBCriteria()
+		}
+		if mcfg.Checkpoint, mcfg.Resume, err = sc.studyPair(AlgMLS, density, run); err != nil {
+			return nil, err
 		}
 		mres, err := core.Optimize(problem, mcfg, nil)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: AEDB-MLS run %d: %w", run, err)
+		}
+		if mres.Interrupted {
+			return nil, interruptedErr(AlgMLS, density, run)
 		}
 		rs.record(AlgMLS, mres.Front, mres.Duration, mres.Evaluations)
 
@@ -83,6 +110,38 @@ func RunAll(sc Scale, density int, log Logf) (*RunSet, error) {
 			density, run+1, sc.Runs, len(cres.Front), len(nres.Front), len(mres.Front))
 	}
 	return rs, nil
+}
+
+// interruptedErr is the uniform cooperative-stop outcome of RunAll: the
+// checkpoint (when configured) holds the interrupted run's state, and the
+// suite can be re-invoked to resume.
+func interruptedErr(alg string, density, run int) error {
+	return fmt.Errorf("experiments: %s run %d (density %d) interrupted: %w", alg, run, density, study.ErrStop)
+}
+
+// studyPair resolves the checkpoint controller and resume state for one
+// (algorithm, density, run). Without a CheckpointDir both are nil; with
+// one, an existing file is loaded for resumption (Final files make the
+// optimizer short-circuit, so completed runs cost nothing on a re-run).
+func (s Scale) studyPair(alg string, density, run int) (*study.Controller, *study.Checkpoint, error) {
+	if s.CheckpointDir == "" {
+		return nil, nil, nil
+	}
+	path := filepath.Join(s.CheckpointDir,
+		fmt.Sprintf("%s-d%d-r%d.ckpt", strings.ToLower(alg), density, run))
+	every := s.CheckpointEvery
+	if every <= 0 {
+		every = 1000
+	}
+	ctrl := &study.Controller{Path: path, Every: every}
+	cp, err := study.Load(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return ctrl, nil, nil
+	case err != nil:
+		return nil, nil, fmt.Errorf("experiments: checkpoint %s: %w", path, err)
+	}
+	return ctrl, cp, nil
 }
 
 func (rs *RunSet) record(alg string, front []*moo.Solution, d time.Duration, evals int64) {

@@ -63,6 +63,20 @@ type Scale struct {
 	// Seed is the base seed; run r of algorithm a uses
 	// Seed + 1000*r + a, and the network committee uses Seed directly.
 	Seed uint64
+	// CheckpointDir, when non-empty, gives every (algorithm, density, run)
+	// of the comparison suite its own crash-safe checkpoint file in this
+	// directory: a re-run after a crash or interruption skips completed
+	// runs (their Final checkpoints short-circuit) and resumes interrupted
+	// ones bit-exactly. Only RunAll-driven experiments checkpoint; the
+	// cheap analyses re-run from scratch.
+	CheckpointDir string
+	// CheckpointEvery is the save cadence in evaluations (<= 0: a default
+	// of 1000).
+	CheckpointEvery int64
+	// Stop, when non-nil, interrupts the suite cooperatively at the next
+	// optimizer boundary; RunAll then returns an error wrapping
+	// study.ErrStop after saving checkpoints.
+	Stop <-chan struct{}
 }
 
 // MLSEvaluations returns the total AEDB-MLS budget for this scale.

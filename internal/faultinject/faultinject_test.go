@@ -1,0 +1,164 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNoop(t *testing.T) {
+	Reset()
+	if Active() {
+		t.Fatal("Active with no rules")
+	}
+	if err := Do(SiteEvalScenario); err != nil {
+		t.Fatalf("disarmed Do returned %v", err)
+	}
+	if n := Hits(SiteEvalScenario); n != 0 {
+		t.Fatalf("disarmed Do counted a hit: %d", n)
+	}
+}
+
+func TestErrorAfterTimes(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Configure("site=eval.build,kind=error,after=3,times=2"); err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	for i := 1; i <= 6; i++ {
+		if err := Do(SiteEvalBuild); err != nil {
+			var f Fault
+			if !errors.As(err, &f) {
+				t.Fatalf("hit %d: error is not a Fault: %v", i, err)
+			}
+			got = append(got, i)
+		}
+	}
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("error fired on hits %v, want [3 4]", got)
+	}
+	if n := Hits(SiteEvalBuild); n != 6 {
+		t.Fatalf("Hits = %d, want 6", n)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Configure("site=eval.scenario,kind=error,every=3"); err != nil {
+		t.Fatal(err)
+	}
+	fails := 0
+	for i := 0; i < 9; i++ {
+		if Do(SiteEvalScenario) != nil {
+			fails++
+		}
+	}
+	if fails != 3 {
+		t.Fatalf("every=3 fired %d times over 9 hits, want 3", fails)
+	}
+}
+
+func TestPanicCarriesFault(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Configure("site=eval.scenario,kind=panic,after=1,times=1"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		f, ok := r.(Fault)
+		if !ok {
+			t.Fatalf("panic value %v is not a Fault", r)
+		}
+		if f.Site != SiteEvalScenario || f.Kind != KindPanic || f.Hit != 1 {
+			t.Fatalf("unexpected fault %+v", f)
+		}
+	}()
+	_ = Do(SiteEvalScenario)
+	t.Fatal("expected panic")
+}
+
+func TestDelay(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Configure("site=eval.scenario,kind=delay,delay=30ms,times=1"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Do(SiteEvalScenario); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay rule slept only %v", d)
+	}
+}
+
+func TestProbabilisticIsDeterministic(t *testing.T) {
+	Reset()
+	defer Reset()
+	run := func() []bool {
+		if err := Configure("site=eval.scenario,kind=error,prob=0.5,seed=42"); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 32)
+		for i := range out {
+			out[i] = Do(SiteEvalScenario) != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("probabilistic firing pattern differs at hit %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob=0.5 fired %d/%d times; stream looks degenerate", fired, len(a))
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	Reset()
+	defer Reset()
+	for _, spec := range []string{
+		"kind=panic",                   // missing site
+		"site=eval.scenario",           // missing kind
+		"site=a,kind=nuke",             // unknown kind
+		"site=a,kind=error,after=x",    // bad int
+		"site=a,kind=error,prob=2",     // prob out of range
+		"site=a,kind=error,bogus=1",    // unknown key
+		"site=a,kind=delay,delay=fast", // bad duration
+		"site=a,kind=error,times",      // malformed field
+	} {
+		if err := Configure(spec); err == nil {
+			t.Errorf("Configure(%q) accepted a malformed spec", spec)
+		}
+	}
+	if Active() {
+		t.Fatal("failed Configure left rules armed")
+	}
+}
+
+func TestConfigureFromEnv(t *testing.T) {
+	Reset()
+	defer Reset()
+	t.Setenv(EnvVar, "site=eval.build,kind=error,times=1")
+	ok, err := ConfigureFromEnv()
+	if err != nil || !ok {
+		t.Fatalf("ConfigureFromEnv = %v, %v", ok, err)
+	}
+	if Do(SiteEvalBuild) == nil {
+		t.Fatal("env-armed rule did not fire")
+	}
+	t.Setenv(EnvVar, "")
+	ok, err = ConfigureFromEnv()
+	if err != nil || ok {
+		t.Fatalf("empty env: ConfigureFromEnv = %v, %v", ok, err)
+	}
+}

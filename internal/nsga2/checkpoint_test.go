@@ -1,0 +1,129 @@
+package nsga2
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"aedbmls/internal/benchproblems"
+	"aedbmls/internal/moo"
+	"aedbmls/internal/study"
+)
+
+func sameSolutions(t *testing.T, want, got []*moo.Solution) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("sizes differ: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		for j := range want[i].X {
+			if math.Float64bits(want[i].X[j]) != math.Float64bits(got[i].X[j]) {
+				t.Fatalf("solution %d: X[%d] = %v vs %v", i, j, want[i].X[j], got[i].X[j])
+			}
+		}
+		for j := range want[i].F {
+			if math.Float64bits(want[i].F[j]) != math.Float64bits(got[i].F[j]) {
+				t.Fatalf("solution %d: F[%d] = %v vs %v", i, j, want[i].F[j], got[i].F[j])
+			}
+		}
+	}
+}
+
+// TestCheckpointResumeEquivalence: an NSGA-II run interrupted at a
+// generation boundary and resumed from the checkpoint reproduces the
+// uninterrupted population and front bit for bit.
+func TestCheckpointResumeEquivalence(t *testing.T) {
+	p := benchproblems.ZDT1(8)
+	cfg := TestConfig()
+	cfg.Seed = 31
+
+	golden, err := Optimize(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "nsga2.ckpt")
+	icfg := cfg
+	icfg.Checkpoint = &study.Controller{Path: path, Every: 60, AfterSave: func(cp *study.Checkpoint) error {
+		if cp.Final {
+			return nil
+		}
+		return study.ErrStop
+	}}
+	ires, err := Optimize(p, icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ires.Interrupted || ires.Evaluations >= golden.Evaluations {
+		t.Fatalf("interruption did not happen mid-run: interrupted=%v evals=%d", ires.Interrupted, ires.Evaluations)
+	}
+
+	cp, err := study.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := cfg
+	rcfg.Resume = cp
+	rres, err := Optimize(p, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSolutions(t, golden.Population, rres.Population)
+	sameSolutions(t, golden.Front, rres.Front)
+	if rres.Evaluations != golden.Evaluations || rres.Generations != golden.Generations {
+		t.Fatalf("counters diverged: {%d %d} vs {%d %d}",
+			rres.Evaluations, rres.Generations, golden.Evaluations, golden.Generations)
+	}
+}
+
+// TestCheckpointFinalShortCircuit: resuming a Final checkpoint reassembles
+// the finished result without spending evaluations.
+func TestCheckpointFinalShortCircuit(t *testing.T) {
+	p := benchproblems.ZDT1(8)
+	cfg := TestConfig()
+	cfg.Seed = 32
+
+	path := filepath.Join(t.TempDir(), "nsga2.ckpt")
+	ccfg := cfg
+	ccfg.Checkpoint = &study.Controller{Path: path}
+	golden, err := Optimize(p, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := study.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cp.Final {
+		t.Fatal("completed run did not write a Final checkpoint")
+	}
+	rcfg := cfg
+	rcfg.Resume = cp
+	rres, err := Optimize(p, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSolutions(t, golden.Front, rres.Front)
+}
+
+// TestResumeRefusesMismatchedStudy: fingerprints gate the resume.
+func TestResumeRefusesMismatchedStudy(t *testing.T) {
+	p := benchproblems.ZDT1(8)
+	cfg := TestConfig()
+	path := filepath.Join(t.TempDir(), "nsga2.ckpt")
+	ccfg := cfg
+	ccfg.Checkpoint = &study.Controller{Path: path}
+	if _, err := Optimize(p, ccfg); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := study.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Seed++
+	other.Resume = cp
+	if _, err := Optimize(p, other); err == nil {
+		t.Fatal("resume accepted a foreign checkpoint")
+	}
+}

@@ -12,12 +12,17 @@ package nsga2
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"aedbmls/internal/moo"
 	"aedbmls/internal/operators"
 	"aedbmls/internal/rng"
+	"aedbmls/internal/study"
 )
+
+// AlgorithmName identifies NSGA-II checkpoints.
+const AlgorithmName = "nsga2"
 
 // Config parameterises NSGA-II.
 type Config struct {
@@ -28,6 +33,29 @@ type Config struct {
 	Pm          float64 // <= 0 means 1/dim
 	EtaM        float64
 	Seed        uint64
+	// Checkpoint enables crash-safe checkpointing at generation
+	// boundaries; Resume restores a matching checkpoint instead of
+	// initialising; Stop requests cooperative interruption. See
+	// internal/study for the shared protocol; resuming an interrupted run
+	// reproduces the uninterrupted result bit for bit.
+	Checkpoint *study.Controller
+	Resume     *study.Checkpoint
+	Stop       <-chan struct{}
+}
+
+// fingerprint identifies the study this config defines on problem p.
+func (c Config) fingerprint(p moo.Problem) string {
+	pm := c.Pm
+	if pm <= 0 {
+		pm = 1.0 / float64(p.Dim())
+	}
+	return study.Fingerprint(
+		"nsga2-v1",
+		fmt.Sprintf("pop=%d evals=%d pc=%x etac=%x pm=%x etam=%x seed=%d",
+			c.PopSize, c.Evaluations, math.Float64bits(c.Pc), math.Float64bits(c.EtaC),
+			math.Float64bits(pm), math.Float64bits(c.EtaM), c.Seed),
+		study.ProblemFingerprint(p),
+	)
 }
 
 // DefaultConfig returns the reference configuration used for the paper's
@@ -73,6 +101,9 @@ type Result struct {
 	Duration time.Duration
 	// Generations completed.
 	Generations int
+	// Interrupted is true when the run exited early because Config.Stop
+	// was closed.
+	Interrupted bool
 }
 
 // Optimize runs NSGA-II on p. Execution is sequential, as in the paper.
@@ -80,14 +111,21 @@ func Optimize(p moo.Problem, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	r := rng.New(cfg.Seed)
 	lo, hi := p.Bounds()
 	pm := cfg.Pm
 	if pm <= 0 {
 		pm = 1.0 / float64(p.Dim())
 	}
 	start := time.Now()
-	var evals int64
+	loop := &study.Loop{Ctrl: cfg.Checkpoint, Stop: cfg.Stop}
+	interrupted := false
+	var (
+		r     *rng.Rand
+		pop   []*moo.Solution
+		evals int64
+		gens  int
+		done  bool // resumed from a Final checkpoint
+	)
 
 	// Whole generations are evaluated together: selection and variation
 	// draw no randomness from evaluation, so generating every offspring
@@ -98,17 +136,51 @@ func Optimize(p moo.Problem, cfg Config) (*Result, error) {
 		return moo.EvaluateAll(p, xs)
 	}
 
-	xs := make([][]float64, cfg.PopSize)
-	for i := range xs {
-		xs[i] = operators.RandomVector(lo, hi, r)
+	if cp := cfg.Resume; cp != nil {
+		if err := cp.Check(AlgorithmName, cfg.fingerprint(p)); err != nil {
+			return nil, err
+		}
+		restored, err := study.DecodeSolutions(cp.Population, p.Dim(), p.NumObjectives())
+		if err != nil {
+			return nil, err
+		}
+		pop = restored
+		r = cp.RNG.Rand()
+		evals = cp.Evaluations
+		gens = int(cp.Iteration)
+		done = cp.Final
+	} else {
+		r = rng.New(cfg.Seed)
+		xs := make([][]float64, cfg.PopSize)
+		for i := range xs {
+			xs[i] = operators.RandomVector(lo, hi, r)
+		}
+		pop = evaluateAll(xs)
 	}
-	pop := evaluateAll(xs)
 	cd := crowdingByFront(pop)
 
-	gens := 0
-	for evals+int64(cfg.PopSize) <= int64(cfg.Evaluations) {
+	// encode snapshots the generation boundary: the crowding distances are
+	// a pure function of pop and come back via crowdingByFront on resume.
+	encode := func() *study.Checkpoint {
+		return &study.Checkpoint{
+			Algorithm:   AlgorithmName,
+			Fingerprint: cfg.fingerprint(p),
+			Evaluations: evals,
+			Iteration:   int64(gens),
+			RNG:         study.StateOf(r),
+			Population:  study.EncodeSolutions(pop),
+		}
+	}
+
+	for !done && evals+int64(cfg.PopSize) <= int64(cfg.Evaluations) {
+		if stopped, err := loop.Boundary(encode); err != nil {
+			return nil, err
+		} else if stopped {
+			interrupted = true
+			break
+		}
 		gens++
-		xs = xs[:0]
+		xs := make([][]float64, 0, cfg.PopSize)
 		for len(xs) < cfg.PopSize {
 			p1 := operators.TournamentCD(pop, cd, r)
 			p2 := operators.TournamentCD(pop, cd, r)
@@ -123,12 +195,18 @@ func Optimize(p moo.Problem, cfg Config) (*Result, error) {
 		pop = environmentalSelection(append(pop, evaluateAll(xs)...), cfg.PopSize)
 		cd = crowdingByFront(pop)
 	}
+	if !done && !interrupted {
+		if err := loop.Finish(encode); err != nil {
+			return nil, err
+		}
+	}
 
 	res := &Result{
 		Population:  pop,
 		Evaluations: evals,
 		Duration:    time.Since(start),
 		Generations: gens,
+		Interrupted: interrupted,
 	}
 	// Constrained dominance makes ParetoFilter return the feasible
 	// non-dominated subset when feasible solutions exist, and the

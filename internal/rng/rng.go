@@ -101,6 +101,15 @@ func (r *Rand) SetState(s [4]uint64) {
 	r.s = s
 }
 
+// FromState builds a generator positioned at a previously captured state:
+// FromState(r.State()) continues r's stream exactly. It is the
+// deserialisation counterpart of State, used when resuming checkpoints.
+func FromState(s [4]uint64) *Rand {
+	r := &Rand{}
+	r.SetState(s)
+	return r
+}
+
 // Float64 returns a uniform float64 in [0, 1).
 func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) * 0x1p-53

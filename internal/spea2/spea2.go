@@ -20,7 +20,11 @@ import (
 	"aedbmls/internal/moo"
 	"aedbmls/internal/operators"
 	"aedbmls/internal/rng"
+	"aedbmls/internal/study"
 )
+
+// AlgorithmName identifies SPEA2 checkpoints.
+const AlgorithmName = "spea2"
 
 // Config parameterises SPEA2.
 type Config struct {
@@ -32,6 +36,30 @@ type Config struct {
 	Pm          float64 // <= 0 means 1/dim
 	EtaM        float64
 	Seed        uint64
+	// Checkpoint enables crash-safe checkpointing at generation
+	// boundaries; Resume restores a matching checkpoint instead of
+	// initialising; Stop requests cooperative interruption. See
+	// internal/study for the shared protocol; resuming an interrupted run
+	// reproduces the uninterrupted result bit for bit.
+	Checkpoint *study.Controller
+	Resume     *study.Checkpoint
+	Stop       <-chan struct{}
+}
+
+// fingerprint identifies the study this config defines on problem p.
+// ArchiveSize is normalised first (Optimize defaults 0 to PopSize).
+func (c Config) fingerprint(p moo.Problem) string {
+	pm := c.Pm
+	if pm <= 0 {
+		pm = 1.0 / float64(p.Dim())
+	}
+	return study.Fingerprint(
+		"spea2-v1",
+		fmt.Sprintf("pop=%d arch=%d evals=%d pc=%x etac=%x pm=%x etam=%x seed=%d",
+			c.PopSize, c.ArchiveSize, c.Evaluations, math.Float64bits(c.Pc),
+			math.Float64bits(c.EtaC), math.Float64bits(pm), math.Float64bits(c.EtaM), c.Seed),
+		study.ProblemFingerprint(p),
+	)
 }
 
 // DefaultConfig mirrors the budgets used for the paper's MOEAs.
@@ -73,6 +101,9 @@ type Result struct {
 	Evaluations int64
 	Duration    time.Duration
 	Generations int
+	// Interrupted is true when the run exited early because Config.Stop
+	// was closed.
+	Interrupted bool
 }
 
 // Optimize runs SPEA2 on p. Execution is sequential.
@@ -83,14 +114,22 @@ func Optimize(p moo.Problem, cfg Config) (*Result, error) {
 	if cfg.ArchiveSize == 0 {
 		cfg.ArchiveSize = cfg.PopSize
 	}
-	r := rng.New(cfg.Seed)
 	lo, hi := p.Bounds()
 	pm := cfg.Pm
 	if pm <= 0 {
 		pm = 1.0 / float64(p.Dim())
 	}
 	start := time.Now()
-	var evals int64
+	loop := &study.Loop{Ctrl: cfg.Checkpoint, Stop: cfg.Stop}
+	interrupted := false
+	var (
+		r     *rng.Rand
+		pop   []*moo.Solution
+		arch  []*moo.Solution
+		evals int64
+		gens  int
+		done  bool // resumed from a Final checkpoint
+	)
 
 	// Whole generations are evaluated together; see the equivalent note
 	// in nsga2.Optimize — batching is bit-identical because variation
@@ -100,15 +139,57 @@ func Optimize(p moo.Problem, cfg Config) (*Result, error) {
 		return moo.EvaluateAll(p, xs)
 	}
 
-	xs := make([][]float64, cfg.PopSize)
-	for i := range xs {
-		xs[i] = operators.RandomVector(lo, hi, r)
+	if cp := cfg.Resume; cp != nil {
+		if err := cp.Check(AlgorithmName, cfg.fingerprint(p)); err != nil {
+			return nil, err
+		}
+		var err error
+		if pop, err = study.DecodeSolutions(cp.Population, p.Dim(), p.NumObjectives()); err != nil {
+			return nil, err
+		}
+		if arch, err = study.DecodeSolutions(cp.Elite, p.Dim(), p.NumObjectives()); err != nil {
+			return nil, err
+		}
+		if len(arch) == 0 {
+			arch = nil // first-boundary checkpoints have no archive yet
+		}
+		r = cp.RNG.Rand()
+		evals = cp.Evaluations
+		gens = int(cp.Iteration)
+		done = cp.Final
+	} else {
+		r = rng.New(cfg.Seed)
+		xs := make([][]float64, cfg.PopSize)
+		for i := range xs {
+			xs[i] = operators.RandomVector(lo, hi, r)
+		}
+		pop = evaluateAll(xs)
 	}
-	pop := evaluateAll(xs)
-	var arch []*moo.Solution
 
-	gens := 0
-	for {
+	// encode snapshots the generation boundary. Non-final boundaries sit
+	// BEFORE environmental selection (a pure function of pop+arch that a
+	// resume re-runs); the Final checkpoint sits after the last selection,
+	// so resuming a finished study must not re-select — it short-circuits
+	// straight to result assembly.
+	encode := func() *study.Checkpoint {
+		return &study.Checkpoint{
+			Algorithm:   AlgorithmName,
+			Fingerprint: cfg.fingerprint(p),
+			Evaluations: evals,
+			Iteration:   int64(gens),
+			RNG:         study.StateOf(r),
+			Population:  study.EncodeSolutions(pop),
+			Elite:       study.EncodeSolutions(arch),
+		}
+	}
+
+	for !done {
+		if stopped, err := loop.Boundary(encode); err != nil {
+			return nil, err
+		} else if stopped {
+			interrupted = true
+			break
+		}
 		// Environmental selection over the union.
 		union := append(append([]*moo.Solution(nil), pop...), arch...)
 		fitness := fitnessOf(union)
@@ -119,7 +200,7 @@ func Optimize(p moo.Problem, cfg Config) (*Result, error) {
 		gens++
 		// Mating selection on the archive by binary fitness tournament.
 		archFitness := fitnessOf(arch)
-		xs = xs[:0]
+		xs := make([][]float64, 0, cfg.PopSize)
 		for len(xs) < cfg.PopSize {
 			p1 := tournament(arch, archFitness, r)
 			p2 := tournament(arch, archFitness, r)
@@ -133,12 +214,18 @@ func Optimize(p moo.Problem, cfg Config) (*Result, error) {
 		}
 		pop = evaluateAll(xs)
 	}
+	if !done && !interrupted {
+		if err := loop.Finish(encode); err != nil {
+			return nil, err
+		}
+	}
 
 	res := &Result{
 		Archive:     arch,
 		Evaluations: evals,
 		Duration:    time.Since(start),
 		Generations: gens,
+		Interrupted: interrupted,
 	}
 	res.Front = moo.ParetoFilter(arch)
 	return res, nil

@@ -1,0 +1,224 @@
+package study
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"aedbmls/internal/archive"
+	"aedbmls/internal/eval"
+	"aedbmls/internal/moo"
+	"aedbmls/internal/rng"
+)
+
+// F64 is a float64 that marshals to a shortest-round-trip hexadecimal
+// string ("0x1.91eb851eb851fp+01") instead of a decimal JSON number.
+// Checkpoints must restore solutions and objectives to the exact bits the
+// optimizer held — decimal shortest-form would survive a Go round-trip
+// too, but hex floats make bit-exactness structural rather than a property
+// of two parsers agreeing, and they diff cleanly against the golden-metrics
+// corpus which uses the same convention. NaN and infinities are
+// special-cased since IEEE 754 hex notation has no spelling for them.
+type F64 float64
+
+// MarshalJSON implements json.Marshaler.
+func (f F64) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	var s string
+	switch {
+	case math.IsNaN(v):
+		s = "NaN"
+	case math.IsInf(v, 1):
+		s = "+Inf"
+	case math.IsInf(v, -1):
+		s = "-Inf"
+	default:
+		s = strconv.FormatFloat(v, 'x', -1, 64)
+	}
+	return strconv.AppendQuote(nil, s), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *F64) UnmarshalJSON(b []byte) error {
+	s, err := strconv.Unquote(string(b))
+	if err != nil {
+		return fmt.Errorf("study: F64 must be a quoted hex-float string, got %s", b)
+	}
+	switch s {
+	case "NaN":
+		*f = F64(math.NaN())
+		return nil
+	case "+Inf":
+		*f = F64(math.Inf(1))
+		return nil
+	case "-Inf":
+		*f = F64(math.Inf(-1))
+		return nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("study: bad F64 %q: %v", s, err)
+	}
+	*f = F64(v)
+	return nil
+}
+
+// RNGState is a serialized xoshiro256** state. uint64 survives JSON
+// exactly when decoded into a typed field (precision is only lost through
+// interface{}/float64 decoding, which typed fields never hit).
+type RNGState [4]uint64
+
+// StateOf captures a generator's state.
+func StateOf(r *rng.Rand) RNGState { return RNGState(r.State()) }
+
+// Rand reconstructs a generator that continues the captured stream exactly.
+func (s RNGState) Rand() *rng.Rand { return rng.FromState([4]uint64(s)) }
+
+// Solution is a serialized moo.Solution. Metrics carries the eval.Metrics
+// Aux payload (in struct declaration order) when present, so reporting on
+// a resumed archive prints the same numbers the uninterrupted run would.
+type Solution struct {
+	X         []F64 `json:"x"`
+	F         []F64 `json:"f"`
+	Violation F64   `json:"violation"`
+	Metrics   []F64 `json:"metrics,omitempty"`
+}
+
+// metricsLen is the field count of eval.Metrics as serialized here.
+const metricsLen = 6
+
+// EncodeSolution serializes one solution.
+func EncodeSolution(s *moo.Solution) Solution {
+	out := Solution{
+		X:         toF64s(s.X),
+		F:         toF64s(s.F),
+		Violation: F64(s.Violation),
+	}
+	if m, ok := eval.MetricsOf(s); ok {
+		out.Metrics = []F64{
+			F64(m.EnergyDBmSum), F64(m.Coverage), F64(m.Forwardings),
+			F64(m.BroadcastTime), F64(m.EnergyMJ), F64(m.Collisions),
+		}
+	}
+	return out
+}
+
+// Decode reconstructs the moo.Solution, validating dimensions against the
+// problem (dim decision variables, nobj objectives; pass 0 to skip either
+// check — e.g. for problems the caller cannot size).
+func (s Solution) Decode(dim, nobj int) (*moo.Solution, error) {
+	if dim > 0 && len(s.X) != dim {
+		return nil, fmt.Errorf("study: solution has %d variables, problem has %d", len(s.X), dim)
+	}
+	if nobj > 0 && len(s.F) != nobj {
+		return nil, fmt.Errorf("study: solution has %d objectives, problem has %d", len(s.F), nobj)
+	}
+	out := &moo.Solution{
+		X:         fromF64s(s.X),
+		F:         fromF64s(s.F),
+		Violation: float64(s.Violation),
+	}
+	switch len(s.Metrics) {
+	case 0:
+	case metricsLen:
+		out.Aux = eval.Metrics{
+			EnergyDBmSum:  float64(s.Metrics[0]),
+			Coverage:      float64(s.Metrics[1]),
+			Forwardings:   float64(s.Metrics[2]),
+			BroadcastTime: float64(s.Metrics[3]),
+			EnergyMJ:      float64(s.Metrics[4]),
+			Collisions:    float64(s.Metrics[5]),
+		}
+	default:
+		return nil, fmt.Errorf("study: solution metrics have %d fields, want %d", len(s.Metrics), metricsLen)
+	}
+	return out, nil
+}
+
+// EncodeSolutions serializes a slice preserving order.
+func EncodeSolutions(sols []*moo.Solution) []Solution {
+	out := make([]Solution, len(sols))
+	for i, s := range sols {
+		out[i] = EncodeSolution(s)
+	}
+	return out
+}
+
+// DecodeSolutions reconstructs a slice, validating every member.
+func DecodeSolutions(enc []Solution, dim, nobj int) ([]*moo.Solution, error) {
+	out := make([]*moo.Solution, len(enc))
+	for i, e := range enc {
+		s, err := e.Decode(dim, nobj)
+		if err != nil {
+			return nil, fmt.Errorf("study: solution %d: %v", i, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// ArchiveState is a serialized archive.State.
+type ArchiveState struct {
+	Kind      string     `json:"kind"`
+	Capacity  int        `json:"capacity,omitempty"`
+	Divisions int        `json:"divisions,omitempty"`
+	Solutions []Solution `json:"solutions"`
+}
+
+// EncodeArchive captures an archive (must be one of the stock
+// implementations in internal/archive).
+func EncodeArchive(ar archive.Interface) (*ArchiveState, error) {
+	st, err := archive.CaptureState(ar)
+	if err != nil {
+		return nil, err
+	}
+	return &ArchiveState{
+		Kind:      st.Kind,
+		Capacity:  st.Capacity,
+		Divisions: st.Divisions,
+		Solutions: EncodeSolutions(st.Solutions),
+	}, nil
+}
+
+// DecodeArchive reconstructs the archive with members in captured order.
+func DecodeArchive(st *ArchiveState, dim, nobj int) (archive.Interface, error) {
+	if st == nil {
+		return nil, fmt.Errorf("study: checkpoint has no archive")
+	}
+	sols, err := DecodeSolutions(st.Solutions, dim, nobj)
+	if err != nil {
+		return nil, err
+	}
+	return archive.RestoreState(&archive.State{
+		Kind:      st.Kind,
+		Capacity:  st.Capacity,
+		Divisions: st.Divisions,
+		Solutions: sols,
+	})
+}
+
+// WorkerState is one MLS virtual worker's resumable state (see
+// core.OptimizeSequential): its private RNG stream, its current solution,
+// and its budget/iteration counters.
+type WorkerState struct {
+	RNG     RNGState `json:"rng"`
+	Current Solution `json:"current"`
+	Spent   int      `json:"spent"`
+	Iter    int      `json:"iter"`
+}
+
+func toF64s(xs []float64) []F64 {
+	out := make([]F64, len(xs))
+	for i, x := range xs {
+		out[i] = F64(x)
+	}
+	return out
+}
+
+func fromF64s(xs []F64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

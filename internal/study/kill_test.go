@@ -1,0 +1,183 @@
+package study_test
+
+import (
+	"errors"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"aedbmls/internal/benchproblems"
+	"aedbmls/internal/core"
+	"aedbmls/internal/faultinject"
+	"aedbmls/internal/moo"
+	"aedbmls/internal/nsga2"
+	"aedbmls/internal/study"
+)
+
+// The kill/resume equivalence tests are the honest version of the
+// checkpoint property: instead of a cooperative AfterSave interruption,
+// the checkpointed study runs in a subprocess that faultinject SIGKILLs
+// inside study.Save's crash window (temp file written, rename not yet
+// issued). The parent then verifies the process really died of SIGKILL,
+// loads whatever checkpoint survived on disk, resumes it in-process, and
+// requires the final front to be bit-identical to an uninterrupted golden
+// run.
+
+const (
+	helperEnv = "AEDB_KILL_HELPER" // mls | nsga2
+	ckptEnv   = "AEDB_KILL_CKPT"   // checkpoint path handed to the child
+)
+
+func mlsKillConfig() core.Config {
+	cfg := core.TestConfig()
+	cfg.Seed = 424242
+	return cfg
+}
+
+func nsgaKillConfig() nsga2.Config {
+	cfg := nsga2.TestConfig()
+	cfg.Seed = 434343
+	return cfg
+}
+
+// TestHelperKillRun is not a test of its own: it is the subprocess body
+// for TestKillResumeEquivalence. Armed through AEDB_FAULTS, it runs a
+// checkpointed study and is SIGKILLed mid-save; reaching the end means the
+// kill never fired, which the parent detects through the clean exit.
+func TestHelperKillRun(t *testing.T) {
+	alg := os.Getenv(helperEnv)
+	if alg == "" {
+		t.Skip("subprocess helper for TestKillResumeEquivalence")
+	}
+	if _, err := faultinject.ConfigureFromEnv(); err != nil {
+		t.Fatal(err)
+	}
+	p := benchproblems.ZDT1(6)
+	switch alg {
+	case "mls":
+		cfg := mlsKillConfig()
+		cfg.Checkpoint = &study.Controller{Path: os.Getenv(ckptEnv), Every: 40}
+		if _, err := core.OptimizeSequential(p, cfg, nil); err != nil {
+			t.Fatal(err)
+		}
+	case "nsga2":
+		cfg := nsgaKillConfig()
+		cfg.Checkpoint = &study.Controller{Path: os.Getenv(ckptEnv), Every: 60}
+		if _, err := nsga2.Optimize(p, cfg); err != nil {
+			t.Fatal(err)
+		}
+	default:
+		t.Fatalf("unknown helper algorithm %q", alg)
+	}
+}
+
+// killCheckpointedRun executes the helper subprocess with a kill rule
+// armed on the second checkpoint save and asserts it died of SIGKILL.
+func killCheckpointedRun(t *testing.T, alg, ckpt string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperKillRun$")
+	cmd.Env = append(os.Environ(),
+		helperEnv+"="+alg,
+		ckptEnv+"="+ckpt,
+		faultinject.EnvVar+"=site=study.save,kind=kill,after=2")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("helper exited cleanly; the armed kill never fired:\n%s", out)
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("running helper: %v\n%s", err, out)
+	}
+	ws, ok := ee.Sys().(syscall.WaitStatus)
+	if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("helper did not die of SIGKILL: %v\n%s", err, out)
+	}
+}
+
+// loadSurvivor loads the checkpoint that survived the crash and asserts it
+// is a mid-run (non-Final) boundary, so the resume below genuinely replays
+// work rather than short-circuiting.
+func loadSurvivor(t *testing.T, ckpt string) *study.Checkpoint {
+	t.Helper()
+	cp, err := study.Load(ckpt)
+	if err != nil {
+		t.Fatalf("no usable checkpoint survived the kill: %v", err)
+	}
+	if cp.Final {
+		t.Fatal("surviving checkpoint is Final; the kill fired too late to exercise resume")
+	}
+	return cp
+}
+
+func sameFronts(t *testing.T, want, got []*moo.Solution) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("front sizes differ: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		for j := range want[i].X {
+			if math.Float64bits(want[i].X[j]) != math.Float64bits(got[i].X[j]) {
+				t.Fatalf("solution %d: X[%d] = %v vs %v", i, j, want[i].X[j], got[i].X[j])
+			}
+		}
+		for j := range want[i].F {
+			if math.Float64bits(want[i].F[j]) != math.Float64bits(got[i].F[j]) {
+				t.Fatalf("solution %d: F[%d] = %v vs %v", i, j, want[i].F[j], got[i].F[j])
+			}
+		}
+	}
+}
+
+// TestKillResumeEquivalence is the hard property of ISSUE.md: a study
+// SIGKILLed mid-run and resumed from its surviving checkpoint produces a
+// final archive bit-identical to the uninterrupted golden run — for the
+// core MLS and for one MOEA.
+func TestKillResumeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess kill/resume test")
+	}
+	p := benchproblems.ZDT1(6)
+
+	t.Run("mls", func(t *testing.T) {
+		golden, err := core.OptimizeSequential(p, mlsKillConfig(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ckpt := filepath.Join(t.TempDir(), "mls.ckpt")
+		killCheckpointedRun(t, "mls", ckpt)
+		cfg := mlsKillConfig()
+		cfg.Resume = loadSurvivor(t, ckpt)
+		res, err := core.OptimizeSequential(p, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameFronts(t, golden.Front, res.Front)
+		if res.Evaluations != golden.Evaluations || res.Accepted != golden.Accepted || res.Resets != golden.Resets {
+			t.Fatalf("counters diverged: resumed {%d %d %d}, golden {%d %d %d}",
+				res.Evaluations, res.Accepted, res.Resets,
+				golden.Evaluations, golden.Accepted, golden.Resets)
+		}
+	})
+
+	t.Run("nsga2", func(t *testing.T) {
+		golden, err := nsga2.Optimize(p, nsgaKillConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ckpt := filepath.Join(t.TempDir(), "nsga2.ckpt")
+		killCheckpointedRun(t, "nsga2", ckpt)
+		cfg := nsgaKillConfig()
+		cfg.Resume = loadSurvivor(t, ckpt)
+		res, err := nsga2.Optimize(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameFronts(t, golden.Front, res.Front)
+		if res.Evaluations != golden.Evaluations {
+			t.Fatalf("evaluations diverged: resumed %d, golden %d", res.Evaluations, golden.Evaluations)
+		}
+	})
+}

@@ -1,0 +1,445 @@
+package study
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aedbmls/internal/archive"
+	"aedbmls/internal/eval"
+	"aedbmls/internal/moo"
+	"aedbmls/internal/rng"
+)
+
+// awkwardFloats are the values decimal round-trips get wrong first.
+var awkwardFloats = []float64{
+	0, math.Copysign(0, -1), 1, -1, 0.1, 1.0 / 3.0,
+	math.Pi, -math.E, 1e-300, -1e300, 5e-324, // smallest subnormal
+	math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64,
+	math.NaN(), math.Inf(1), math.Inf(-1),
+	1e18, -1e18,
+}
+
+func TestF64RoundTripBits(t *testing.T) {
+	r := rng.New(11)
+	vals := append([]float64(nil), awkwardFloats...)
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, math.Float64frombits(r.Uint64()))
+	}
+	for _, v := range vals {
+		data, err := json.Marshal(F64(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got F64
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		want := math.Float64bits(v)
+		have := math.Float64bits(float64(got))
+		// All NaN payloads collapse to the one canonical NaN; that is fine
+		// because no computation in this repo distinguishes NaN payloads.
+		if math.IsNaN(v) && math.IsNaN(float64(got)) {
+			continue
+		}
+		if want != have {
+			t.Fatalf("F64 round trip changed bits: %x -> %s -> %x", want, data, have)
+		}
+	}
+}
+
+func TestF64RejectsGarbage(t *testing.T) {
+	for _, in := range []string{`12.5`, `"0xzp+1"`, `"hello"`, `""`, `true`} {
+		var f F64
+		if err := json.Unmarshal([]byte(in), &f); err == nil {
+			t.Errorf("F64 accepted %s", in)
+		}
+	}
+}
+
+func testSolution(r *rng.Rand, withMetrics bool) *moo.Solution {
+	s := &moo.Solution{
+		X:         []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64(), r.Float64()},
+		F:         []float64{r.Range(-400, 0), -r.Range(0, 100), r.Range(0, 5)},
+		Violation: r.Range(0, 2),
+	}
+	if withMetrics {
+		s.Aux = eval.Metrics{
+			EnergyDBmSum: r.Range(0, 400), Coverage: r.Range(0, 100),
+			Forwardings: r.Range(0, 50), BroadcastTime: r.Range(0, 5),
+			EnergyMJ: r.Range(0, 1), Collisions: r.Range(0, 10),
+		}
+	}
+	return s
+}
+
+func sameSolutionBits(t *testing.T, a, b *moo.Solution) {
+	t.Helper()
+	for i := range a.X {
+		if math.Float64bits(a.X[i]) != math.Float64bits(b.X[i]) {
+			t.Fatalf("X[%d] bits differ", i)
+		}
+	}
+	for i := range a.F {
+		if math.Float64bits(a.F[i]) != math.Float64bits(b.F[i]) {
+			t.Fatalf("F[%d] bits differ", i)
+		}
+	}
+	if math.Float64bits(a.Violation) != math.Float64bits(b.Violation) {
+		t.Fatal("Violation bits differ")
+	}
+	am, aok := eval.MetricsOf(a)
+	bm, bok := eval.MetricsOf(b)
+	if aok != bok || am != bm {
+		t.Fatalf("metrics differ: %v/%v vs %v/%v", am, aok, bm, bok)
+	}
+}
+
+func TestSolutionRoundTrip(t *testing.T) {
+	r := rng.New(5)
+	for i := 0; i < 50; i++ {
+		s := testSolution(r, i%2 == 0)
+		enc := EncodeSolution(s)
+		data, err := json.Marshal(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dec Solution
+		if err := json.Unmarshal(data, &dec); err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.Decode(5, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSolutionBits(t, s, got)
+	}
+}
+
+func TestSolutionDecodeValidates(t *testing.T) {
+	s := EncodeSolution(testSolution(rng.New(1), true))
+	if _, err := s.Decode(4, 3); err == nil {
+		t.Error("accepted wrong dim")
+	}
+	if _, err := s.Decode(5, 2); err == nil {
+		t.Error("accepted wrong objective count")
+	}
+	s.Metrics = s.Metrics[:3]
+	if _, err := s.Decode(5, 3); err == nil {
+		t.Error("accepted truncated metrics")
+	}
+}
+
+func testCheckpoint(t *testing.T) *Checkpoint {
+	t.Helper()
+	r := rng.New(77)
+	ar := archive.NewAGA(10, 4)
+	for i := 0; i < 40; i++ {
+		ar.Add(testSolution(r, true))
+	}
+	arch, err := EncodeArchive(ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Checkpoint{
+		Algorithm:   "mls",
+		Fingerprint: Fingerprint("test", "fp"),
+		Evaluations: 1234,
+		Iteration:   7,
+		Counters:    map[string]int64{"accepted": 99, "resets": 3},
+		RNG:         StateOf(r),
+		ExtraRNGs:   []RNGState{StateOf(rng.New(8))},
+		Archive:     arch,
+		Workers: []WorkerState{
+			{RNG: StateOf(rng.New(9)), Current: EncodeSolution(testSolution(r, true)), Spent: 55, Iter: 6},
+		},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	cp := testCheckpoint(t)
+	if err := Save(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Algorithm != cp.Algorithm || got.Evaluations != cp.Evaluations ||
+		got.Iteration != cp.Iteration || got.Counter("accepted") != 99 {
+		t.Fatalf("scalar fields lost: %+v", got)
+	}
+	if got.RNG != cp.RNG || got.ExtraRNGs[0] != cp.ExtraRNGs[0] || got.Workers[0].RNG != cp.Workers[0].RNG {
+		t.Fatal("rng state lost")
+	}
+	// Archive contents round-trip bit-exactly, in order.
+	origArch, err := DecodeArchive(cp.Archive, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotArch, err := DecodeArchive(got.Archive, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os1, os2 := origArch.Contents(), gotArch.Contents()
+	if len(os1) != len(os2) {
+		t.Fatalf("archive sizes differ: %d vs %d", len(os1), len(os2))
+	}
+	for i := range os1 {
+		sameSolutionBits(t, os1[i], os2[i])
+	}
+	// Saving the identical state twice produces identical bytes (canonical
+	// encoding — nothing timestamped or map-order dependent).
+	path2 := filepath.Join(dir, "ck2.json")
+	if err := Save(path2, got); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(path)
+	b2, _ := os.ReadFile(path2)
+	if string(b1) != string(b2) {
+		t.Fatal("identical checkpoints serialized differently")
+	}
+}
+
+func TestSaveLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	if err := Save(path, testCheckpoint(t)); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "ck.json" {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory holds %v, want only ck.json", names)
+	}
+}
+
+func TestLoadRefusesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	if err := Save(path, testCheckpoint(t)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every strict prefix must be refused — a torn write can stop anywhere.
+	// (A prefix that only drops trailing whitespace is still the complete
+	// document and rightly loads.)
+	for n := 0; n < len(data); n++ {
+		if strings.TrimSpace(string(data[n:])) == "" {
+			continue
+		}
+		if _, err := Decode(data[:n]); err == nil {
+			t.Fatalf("accepted %d-byte truncation of a %d-byte checkpoint", n, len(data))
+		}
+	}
+	// Flipping any single byte of the payload must be caught by the
+	// checksum or the JSON parser — or, in the one benign case (Go's JSON
+	// key matching is case-insensitive, so flipping case inside a key name
+	// leaves the document meaning unchanged), the decode must yield content
+	// identical to the original. Sample positions to keep it fast.
+	orig, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origJSON, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n += 13 {
+		mut := append([]byte(nil), data...)
+		mut[n] ^= 0x20
+		got, err := Decode(mut)
+		if err != nil {
+			continue
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil || string(gotJSON) != string(origJSON) {
+			t.Fatalf("byte %d flipped: decode succeeded with DIFFERENT content", n)
+		}
+	}
+	// Trailing garbage.
+	if _, err := Decode(append(append([]byte(nil), data...), []byte("{}")...)); err == nil {
+		t.Fatal("accepted checkpoint with trailing data")
+	}
+	// Unknown fields (a newer writer's file).
+	withExtra := strings.Replace(string(data), `"schema":`, `"from_the_future": 1, "schema":`, 1)
+	if _, err := Decode([]byte(withExtra)); err == nil {
+		t.Fatal("accepted checkpoint with unknown fields")
+	}
+}
+
+func TestLoadRefusesSchemaMismatch(t *testing.T) {
+	cp := testCheckpoint(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	if err := Save(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	// A schema bump alone (checksum recomputed to match) must still be
+	// refused — version check is independent of integrity check.
+	cp2, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp2.Schema = Schema + 1
+	sum, err := checksum(cp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp2.Checksum = sum
+	raw, _ := json.Marshal(cp2)
+	if _, err := Decode(raw); err == nil {
+		t.Fatal("accepted checkpoint with future schema")
+	}
+}
+
+func TestCheckpointCheck(t *testing.T) {
+	cp := &Checkpoint{Algorithm: "nsga2", Fingerprint: Fingerprint("a")}
+	if err := cp.Check("nsga2", Fingerprint("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Check("mls", Fingerprint("a")); err == nil {
+		t.Error("accepted wrong algorithm")
+	}
+	if err := cp.Check("nsga2", Fingerprint("b")); err == nil {
+		t.Error("accepted wrong fingerprint")
+	}
+	if err := cp.Check("nsga2", ""); err != nil {
+		t.Error("empty expected fingerprint should skip the check")
+	}
+}
+
+func TestFingerprintBoundaries(t *testing.T) {
+	if Fingerprint("ab", "c") == Fingerprint("a", "bc") {
+		t.Fatal("fingerprint ignores part boundaries")
+	}
+	if Fingerprint("x") != Fingerprint("x") {
+		t.Fatal("fingerprint unstable")
+	}
+}
+
+func TestControllerCadence(t *testing.T) {
+	dir := t.TempDir()
+	c := &Controller{Path: filepath.Join(dir, "ck.json"), Every: 100}
+	if c.Due(50) {
+		t.Fatal("due before cadence")
+	}
+	if !c.Due(100) {
+		t.Fatal("not due at cadence")
+	}
+	cp := &Checkpoint{Algorithm: "t", Evaluations: 100}
+	if err := c.Save(cp); err != nil {
+		t.Fatal(err)
+	}
+	if c.Due(150) {
+		t.Fatal("due again immediately after save")
+	}
+	if !c.Due(200) {
+		t.Fatal("not due one cadence after save")
+	}
+	if c.Saves() != 1 {
+		t.Fatalf("Saves = %d", c.Saves())
+	}
+
+	var nilC *Controller
+	if nilC.Due(1000) || nilC.Saves() != 0 {
+		t.Fatal("nil controller misbehaves")
+	}
+	if err := nilC.Save(cp); err != nil {
+		t.Fatal("nil controller Save should be a no-op")
+	}
+}
+
+func TestControllerAfterSaveStops(t *testing.T) {
+	dir := t.TempDir()
+	saves := 0
+	c := &Controller{
+		Path:  filepath.Join(dir, "ck.json"),
+		Every: 1,
+		AfterSave: func(cp *Checkpoint) error {
+			saves++
+			if saves >= 2 {
+				return ErrStop
+			}
+			return nil
+		},
+	}
+	cp := &Checkpoint{Algorithm: "t", Evaluations: 1}
+	if err := c.Save(cp); err != nil {
+		t.Fatal(err)
+	}
+	cp.Evaluations = 2
+	if err := c.Save(cp); err != ErrStop {
+		t.Fatalf("second save returned %v, want ErrStop", err)
+	}
+	// The checkpoint was still written before the hook fired.
+	if _, err := Load(c.Path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStopped(t *testing.T) {
+	if Stopped(nil) {
+		t.Fatal("nil channel reads as stopped")
+	}
+	ch := make(chan struct{})
+	if Stopped(ch) {
+		t.Fatal("open channel reads as stopped")
+	}
+	close(ch)
+	if !Stopped(ch) {
+		t.Fatal("closed channel not stopped")
+	}
+}
+
+func FuzzCheckpointDecode(f *testing.F) {
+	dir := f.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	r := rng.New(77)
+	ar := archive.NewAGA(10, 4)
+	for i := 0; i < 40; i++ {
+		ar.Add(testSolution(r, true))
+	}
+	arch, _ := EncodeArchive(ar)
+	cp := &Checkpoint{Algorithm: "mls", Fingerprint: "fp", Evaluations: 10, RNG: StateOf(r), Archive: arch}
+	if err := Save(path, cp); err != nil {
+		f.Fatal(err)
+	}
+	valid, _ := os.ReadFile(path)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(`{"schema":1}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{}{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic; on success the checkpoint must be internally
+		// consistent (schema + checksum verified).
+		cp, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if cp.Schema != Schema {
+			t.Fatalf("Decode accepted schema %d", cp.Schema)
+		}
+		sum, err := checksum(cp)
+		if err != nil || sum != cp.Checksum {
+			t.Fatalf("Decode accepted checksum mismatch: %v", err)
+		}
+	})
+}
