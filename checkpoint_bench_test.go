@@ -1,0 +1,149 @@
+// Benchmarks and bounds for the crash-safe checkpointing subsystem: the
+// cost of one atomic checkpoint write, the cost of the load half of a
+// resume, and a wall guaranteeing that running a study WITH periodic
+// checkpointing stays within bounded overhead of the same study without
+// it (checkpointing is meant to be cheap enough to leave on).
+package aedbmls_test
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"aedbmls/internal/archive"
+	"aedbmls/internal/core"
+	"aedbmls/internal/eval"
+	"aedbmls/internal/moo"
+	"aedbmls/internal/rng"
+	"aedbmls/internal/study"
+)
+
+// benchCheckpoint builds a checkpoint of realistic study size: a full
+// 100-solution archive and a worker population, dimension 5 (the AEDB
+// parameter space), all float64 payloads hex-encoded bit-exactly.
+func benchCheckpoint(tb testing.TB) *study.Checkpoint {
+	tb.Helper()
+	r := rng.New(42)
+	mk := func(n int) []*moo.Solution {
+		sols := make([]*moo.Solution, n)
+		for i := range sols {
+			s := &moo.Solution{
+				X: make([]float64, 5),
+				F: make([]float64, 3),
+			}
+			for j := range s.X {
+				s.X[j] = r.Range(0, 1)
+			}
+			for j := range s.F {
+				s.F[j] = r.Range(-100, 100)
+			}
+			sols[i] = s
+		}
+		return sols
+	}
+	ar := archive.NewAGA(100, 8)
+	for _, s := range mk(100) {
+		ar.Add(s)
+	}
+	arSt, err := study.EncodeArchive(ar)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cp := &study.Checkpoint{
+		Algorithm:   "aedb-mls",
+		Fingerprint: study.Fingerprint("bench", "d100"),
+		Evaluations: 24000,
+		Iteration:   250,
+		Counters:    map[string]int64{"accepted": 1234, "resets": 5},
+		RNG:         study.StateOf(rng.New(7)),
+		Archive:     arSt,
+		Population:  study.EncodeSolutions(mk(60)),
+	}
+	return cp
+}
+
+// BenchmarkCheckpointSave measures one atomic checkpoint write (marshal,
+// checksum, temp file, fsync-free rename) at realistic study size.
+func BenchmarkCheckpointSave(b *testing.B) {
+	cp := benchCheckpoint(b)
+	path := filepath.Join(b.TempDir(), "bench.ckpt")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := study.Save(path, cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStudyResumeLoop measures the load half of a resume — read,
+// checksum verification, decode, and archive reconstruction — which a
+// restarted study pays once per crash-recovery cycle.
+func BenchmarkStudyResumeLoop(b *testing.B) {
+	cp := benchCheckpoint(b)
+	path := filepath.Join(b.TempDir(), "bench.ckpt")
+	if err := study.Save(path, cp); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := study.Load(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := study.DecodeArchive(got.Archive, 5, 3); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := study.DecodeSolutions(got.Population, 5, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestCheckpointOverheadBounded runs the same d100 MLS study twice — once
+// plain, once checkpointing every 32 evaluations (an aggressive cadence;
+// production cadences are sparser) — and requires the checkpointed run to
+// stay within a generous constant factor of the plain one. The bound is
+// deliberately loose (one-shot wall-clock timing on a shared machine),
+// but it fails if checkpoint serialisation ever degrades from
+// milliseconds to a per-boundary cost rivalling the committee
+// evaluations themselves.
+func TestCheckpointOverheadBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock comparison; skipped in -short")
+	}
+	cfg := core.TestConfig()
+	cfg.Criteria = core.DefaultAEDBCriteria()
+	cfg.Seed = 11
+
+	run := func(ckpt *study.Controller) (time.Duration, *core.Result) {
+		c := cfg
+		c.Checkpoint = ckpt
+		p := eval.NewProblem(100, 5)
+		start := time.Now()
+		res, err := core.OptimizeSequential(p, c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start), res
+	}
+
+	// Warm the process-wide scenario caches so the comparison measures
+	// the optimizer loops, not one-time snapshot/tape recording.
+	run(nil)
+
+	plain, plainRes := run(nil)
+	path := filepath.Join(t.TempDir(), "overhead.ckpt")
+	checked, checkedRes := run(&study.Controller{Path: path, Every: 32})
+
+	if plainRes.Evaluations != checkedRes.Evaluations {
+		t.Fatalf("runs diverged: %d vs %d evaluations", plainRes.Evaluations, checkedRes.Evaluations)
+	}
+	if _, err := study.Load(path); err != nil {
+		t.Fatalf("checkpointed run left no loadable checkpoint: %v", err)
+	}
+	// Bound: 2x plus a fixed grace for scheduler noise on small runs.
+	limit := 2*plain + 500*time.Millisecond
+	if checked > limit {
+		t.Fatalf("checkpointed run took %v, plain %v: overhead exceeds bound %v", checked, plain, limit)
+	}
+}

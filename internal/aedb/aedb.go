@@ -19,10 +19,10 @@ package aedb
 
 import (
 	"fmt"
+	"sync"
 
 	"aedbmls/internal/manet"
 	"aedbmls/internal/radio"
-	"aedbmls/internal/sim"
 )
 
 // Parameter vector indices, shared with the optimisers.
@@ -158,12 +158,15 @@ func (p Params) Validate() error {
 // set of senders the message arrived from, kept as a slice: a node hears
 // a given broadcast from a handful of neighbors at most, and the
 // evaluation loop creates one msgState per node per broadcast, so map
-// allocation churn would dominate.
+// allocation churn would dominate. msg pins the message for the timer
+// callback, and timer is the tagged-timer handle (a plain value: arming
+// the forwarding delay allocates nothing, see manet.Node.ScheduleTimer).
 type msgState struct {
 	pbest     float64
 	waiting   bool
 	done      bool
-	timer     *sim.Event
+	msg       *manet.Message
+	timer     manet.Timer
 	heardFrom []int32
 }
 
@@ -207,12 +210,44 @@ type Protocol struct {
 }
 
 var _ manet.Protocol = (*Protocol)(nil)
+var _ manet.ProtoRecycler = (*Protocol)(nil)
 
-// New returns a protocol factory for manet.New.
+// protoPool recycles Protocol instances across simulations. The
+// evaluation engine creates one instance per node per candidate —
+// hundreds of thousands per optimisation batch — and before pooling,
+// those instances plus their heardFrom slices were the two dominant
+// allocation classes of the whole evaluator. Entries in the pool are
+// always in the zero observable state (Recycle resets before Put), with
+// the heardFrom slice and overflow map retaining their capacity, so a
+// pooled instance behaves bit-identically to a fresh &Protocol{}.
+// sync.Pool is safe for the concurrent factory calls of parallel
+// batch waves.
+var protoPool = sync.Pool{New: func() any { return new(Protocol) }}
+
+// New returns a protocol factory for manet.New. Instances are drawn from
+// a package-level pool and handed back when an evaluation arena
+// invalidates the network that owned them (see manet.ProtoRecycler);
+// non-arena simulations simply drop them for the garbage collector.
 func New(p Params) func(*manet.Node) manet.Protocol {
 	return func(*manet.Node) manet.Protocol {
-		return &Protocol{P: p}
+		pr := protoPool.Get().(*Protocol)
+		pr.P = p
+		return pr
 	}
+}
+
+// Recycle implements manet.ProtoRecycler: reset to the zero observable
+// state — keeping the heardFrom capacity and the overflow map, whose
+// reuse is exactly what makes pooling pay — and return to the pool. Only
+// the arena instantiation path calls this, at the moment the instance's
+// network is invalidated.
+func (a *Protocol) Recycle() {
+	heard := a.first.heardFrom[:0]
+	overflow := a.overflow
+	clear(overflow)
+	*a = Protocol{overflow: overflow}
+	a.first.heardFrom = heard
+	protoPool.Put(a)
 }
 
 // state returns the message state for id, or nil if the node has not
@@ -275,9 +310,10 @@ func (a *Protocol) OnData(msg *manet.Message, from int, rxPowerDBm float64) {
 			return
 		}
 		st.waiting = true
+		st.msg = msg
 		lo, hi := a.P.DelayInterval()
-		delay := a.node.Rng.Range(lo, hi+1e-15) // rand in [delay interval] (line 8)
-		st.timer = a.node.Schedule(delay, func() { a.fire(msg, st) })
+		delay := a.node.Rng.RangeClosed(lo, hi) // rand in [delay interval] (line 8)
+		st.timer = a.node.ScheduleTimer(delay, int32(msg.ID))
 		return
 	}
 	if st.waiting {
@@ -291,16 +327,25 @@ func (a *Protocol) OnData(msg *manet.Message, from int, rxPowerDBm float64) {
 			// The node is disqualified for good: pbest only ever rises, so
 			// the timer could now only drop. Resolving the drop here instead
 			// of at expiry is observably identical (Fig. 1 re-checks pbest
-			// at fire time) and releases the closure early, which lets the
+			// at fire time) and disarms the timer early, which lets the
 			// evaluation engine's quiescence detection stop the simulation
 			// as soon as the last *live* forwarding decision is resolved.
 			st.timer.Cancel()
-			st.timer = nil
 			st.waiting = false
 			st.done = true
 			a.Drops++
 		}
 	}
+}
+
+// OnTimer implements manet.Protocol: the forwarding delay for message ID
+// `tag` expired.
+func (a *Protocol) OnTimer(tag int32) {
+	st := a.state(int(tag))
+	if st == nil || !st.waiting {
+		return
+	}
+	a.fire(st.msg, st)
 }
 
 // fire is the timer half of Fig. 1 (lines 16-27).
@@ -367,6 +412,9 @@ type Flooding struct {
 	MinDelay, MaxDelay float64
 	node               *manet.Node
 	seen               map[int]bool
+	// pending holds the messages whose forwarding timer is armed, keyed
+	// by the message ID the timer carries as its tag.
+	pending map[int]*manet.Message
 }
 
 var _ manet.Protocol = (*Flooding)(nil)
@@ -374,7 +422,10 @@ var _ manet.Protocol = (*Flooding)(nil)
 // NewFlooding returns a flooding factory with the given delay interval.
 func NewFlooding(minDelay, maxDelay float64) func(*manet.Node) manet.Protocol {
 	return func(*manet.Node) manet.Protocol {
-		return &Flooding{MinDelay: minDelay, MaxDelay: maxDelay, seen: make(map[int]bool)}
+		return &Flooding{
+			MinDelay: minDelay, MaxDelay: maxDelay,
+			seen: make(map[int]bool), pending: make(map[int]*manet.Message),
+		}
 	}
 }
 
@@ -397,10 +448,20 @@ func (f *Flooding) OnData(msg *manet.Message, _ int, _ float64) {
 	if hi < lo {
 		lo, hi = hi, lo
 	}
-	delay := f.node.Rng.Range(lo, hi+1e-15)
-	f.node.Schedule(delay, func() {
-		f.node.Network().TransmitData(f.node, msg, f.node.Network().Cfg.DefaultTxPowerDBm)
-	})
+	delay := f.node.Rng.RangeClosed(lo, hi)
+	f.pending[msg.ID] = msg
+	f.node.ScheduleTimer(delay, int32(msg.ID))
+}
+
+// OnTimer implements manet.Protocol: forward the delayed message at full
+// power.
+func (f *Flooding) OnTimer(tag int32) {
+	msg := f.pending[int(tag)]
+	if msg == nil {
+		return
+	}
+	delete(f.pending, int(tag))
+	f.node.Network().TransmitData(f.node, msg, f.node.Network().Cfg.DefaultTxPowerDBm)
 }
 
 // DistanceBroadcast is the enhanced distance-based baseline AEDB descends
@@ -447,20 +508,30 @@ func (d *DistanceBroadcast) OnData(msg *manet.Message, from int, rxPowerDBm floa
 			return
 		}
 		st.waiting = true
+		st.msg = msg
 		lo, hi := d.MinDelay, d.MaxDelay
 		if hi < lo {
 			lo, hi = hi, lo
 		}
-		st.timer = d.node.Schedule(d.node.Rng.Range(lo, hi+1e-15), func() {
-			st.waiting = false
-			st.done = true
-			if st.pbest <= d.BorderThresholdDBm {
-				d.node.Network().TransmitData(d.node, msg, d.node.Network().Cfg.DefaultTxPowerDBm)
-			}
-		})
+		st.timer = d.node.ScheduleTimer(d.node.Rng.RangeClosed(lo, hi), int32(msg.ID))
 		return
 	}
 	if st.waiting && rxPowerDBm > st.pbest {
 		st.pbest = rxPowerDBm
+	}
+}
+
+// OnTimer implements manet.Protocol: the waiting period for message ID
+// `tag` expired — forward at full power unless a copy above the border
+// threshold disqualified the node meanwhile.
+func (d *DistanceBroadcast) OnTimer(tag int32) {
+	st := d.states[int(tag)]
+	if st == nil || !st.waiting {
+		return
+	}
+	st.waiting = false
+	st.done = true
+	if st.pbest <= d.BorderThresholdDBm {
+		d.node.Network().TransmitData(d.node, st.msg, d.node.Network().Cfg.DefaultTxPowerDBm)
 	}
 }

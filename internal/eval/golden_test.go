@@ -42,13 +42,26 @@ type goldenMetrics struct {
 }
 
 // goldenEntry records one corpus case under BOTH physics arms: Metrics is
-// the reference (ExactPhysics) arm — the bits every engine generation of
-// this repository has produced — and MetricsKernel is the fused d2-space
-// kernel arm the default engine runs since the fast physics kernel
-// landed. The arms agree bit-for-bit on every discrete field (coverage,
-// forwardings, collisions, broadcast time); only the continuous energy
-// sums differ, in the last units of the mantissa (see
+// the reference (ExactPhysics) arm and MetricsKernel is the fused
+// d2-space kernel arm the default engine runs since the fast physics
+// kernel landed. The arms agree bit-for-bit on every discrete field
+// (coverage, forwardings, collisions, broadcast time); only the
+// continuous energy sums differ, in the last units of the mantissa (see
 // TestKernelPhysicsMatchesExactOnGoldenCorpus).
+//
+// Regeneration history. The corpus was re-recorded ONCE since the fast
+// kernel landed, when the protocol delay draw moved from the historical
+// Rng.Range(lo, hi+1e-15) inclusive-upper-bound hack to the correct
+// Rng.RangeClosed(lo, hi) (see that function's doc: the old epsilon is a
+// silent no-op for bounds >= ~1 s and widens sub-microsecond intervals
+// past hi). The fix perturbs each forwarding delay by a few ULPs — the
+// old draw was lo + (hi+1e-15-lo)*u on the half-open [0,1) lattice, the
+// new one spans the closed [lo, hi] lattice — so broadcast_time shifted
+// in the last 1-2 mantissa digits on both arms while every other field
+// (coverage, forwardings, collisions, both energy sums) reproduced the
+// previous corpus bit-for-bit. That confirmed the change affected
+// nothing beyond the delay draw itself, and the corpus was re-recorded
+// to the corrected bits.
 type goldenEntry struct {
 	goldenCase
 	Committee     int           `json:"committee"`

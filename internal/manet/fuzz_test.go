@@ -101,10 +101,10 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 		// The scheduled origination is itself a live closure.
 		refNet.StartBroadcast(source, cut)
 		for checks := 0; checks < 25; checks++ {
-			if refNet.Sim.PendingClosures() > 0 || refNet.dataInFlight > 0 {
+			if refNet.Sim.PendingClosures() > 0 || refNet.liveTimers > 0 || refNet.dataInFlight > 0 {
 				if _, err := refNet.Snapshot(); err == nil {
-					t.Fatalf("snapshot succeeded with %d live closures and %d data frames in flight",
-						refNet.Sim.PendingClosures(), refNet.dataInFlight)
+					t.Fatalf("snapshot succeeded with %d live closures, %d armed timers and %d data frames in flight",
+						refNet.Sim.PendingClosures(), refNet.liveTimers, refNet.dataInFlight)
 				}
 			}
 			if !refNet.Sim.StepUntil(cfg.EndTime) {

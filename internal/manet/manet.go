@@ -19,12 +19,17 @@
 // # Hot-path design
 //
 // The recurring simulation events (beacons, mobility changes, frame
-// boundaries) are scheduled as tagged events — plain (kind, node, payload)
-// triples dispatched through Network.dispatch — so the steady-state event
-// loop allocates nothing: no closures, no per-event heap objects. In-flight
-// frame receptions live in a free-list pool indexed by int32, neighbor
-// tables are timeout-pruned slices instead of maps, and the "who can hear
-// this transmission" query runs against a uniform-grid spatial index
+// boundaries, protocol timers) are scheduled as tagged events — plain
+// (kind, node, payload) triples dispatched through Network.dispatch — so
+// the steady-state event loop allocates nothing: no closures, no per-event
+// heap objects. Protocol timers are slots of a network-owned table (see
+// protoTimer) armed through Node.ScheduleTimer and delivered as
+// Protocol.OnTimer callbacks. In-flight frame receptions live in a
+// free-list pool indexed by int32, neighbor tables are timeout-pruned
+// slices instead of maps, per-node kernel-facing hot state (memoised
+// positions, half-duplex deadlines) sits in structure-of-arrays columns on
+// the Network, and the "who can hear this transmission" query runs against
+// a uniform-grid spatial index
 // (internal/geom.FlatGrid, cell size = max radio range) instead of scanning
 // all N nodes. The index is rebuilt lazily: between rebuilds, queries are
 // inflated by the maximum distance any node can have drifted (bounded by
@@ -182,6 +187,24 @@ type Protocol interface {
 	// OnData is invoked on every successful data-frame reception, with the
 	// transmitting node's ID and the received signal strength.
 	OnData(msg *Message, from int, rxPowerDBm float64)
+	// OnTimer is invoked when a timer armed via Node.ScheduleTimer fires,
+	// with the tag the protocol chose when arming it (cancelled timers
+	// never fire). Protocols that arm no timers implement it as a no-op.
+	OnTimer(tag int32)
+}
+
+// ProtoRecycler is an optional Protocol extension for the evaluation hot
+// path. When an Arena re-instantiates a network, the previous
+// simulation's protocol instances become unreachable at the exact moment
+// the arena contract invalidates that network; instances implementing
+// Recycle are handed back then instead of being dropped for the garbage
+// collector, so a protocol package can pool them (see aedb.New). Recycle
+// is only ever called on instances whose network has been invalidated —
+// an abandoned simulation (panic, timeout) abandons its arena and its
+// protocol instances with it, so a recycled instance is never still in
+// use.
+type ProtoRecycler interface {
+	Recycle()
 }
 
 // NeighborEntry is one row of a node's neighbor table, learned via
@@ -236,6 +259,7 @@ const (
 	evMobility                     // a = node ID
 	evFrameStart                   // a = receiver ID, b = reception index
 	evFrameEnd                     // a = receiver ID, b = reception index
+	evProtoTimer                   // a = timer-table slot, b = generation
 )
 
 // Node is one device: position (via mobility), radio state, neighbor table
@@ -258,12 +282,13 @@ type Node struct {
 	nbrPos    []int32
 	nbrOut    []NeighborEntry
 	active    []int32 // in-flight reception pool indices
-	txUntil   float64
 
-	// cachedPos memoises Position at cachedAt, so transmissions sharing
-	// an instant evaluate each trajectory once.
-	cachedPos geom.Vec2
-	cachedAt  float64
+	// The remaining kernel-facing hot state — current position, memoised
+	// per (node, instant), and the half-duplex transmission deadline —
+	// lives in structure-of-arrays columns owned by the Network
+	// (posX/posY/posAt, txUntil), so the d2 gather of a transmission and
+	// the grid rebuild walk contiguous memory instead of chasing Node
+	// pointers. See Network and positionOf.
 
 	// Accounting.
 	TxEnergyMJ float64
@@ -352,10 +377,112 @@ func (n *Node) upsertNeighbor(e nbrRec) {
 	n.neighbors = append(n.neighbors, e)
 }
 
-// Schedule runs fn after delay seconds of simulated time on this node's
-// network.
-func (n *Node) Schedule(delay float64, fn func()) *sim.Event {
-	return n.net.Sim.Schedule(delay, fn)
+// protoTimer is one slot of the network-owned protocol timer table. A
+// slot is armed by Node.ScheduleTimer and carries only plain data (the
+// owning node and the protocol's tag); the firing itself is an ordinary
+// tagged event, so arming a timer performs zero heap allocations — the
+// same move the beacon/mobility/frame machinery made in PR 1. gen is the
+// slot's reuse generation: a pending evProtoTimer event addresses its
+// slot as (index, generation), so an event left behind by a cancelled or
+// already-fired timer can never fire a later occupant of the slot.
+type protoTimer struct {
+	node  int32
+	tag   int32
+	gen   uint32
+	armed bool
+}
+
+// Timer is the cancellable handle of a protocol timer armed with
+// Node.ScheduleTimer. It is a plain value (copyable, no heap state); the
+// zero Timer is valid and Cancel on it is a no-op. Cancelling an
+// already-fired or already-cancelled timer is also a no-op, so handles
+// may be retained past the firing without bookkeeping.
+type Timer struct {
+	net  *Network
+	slot int32
+	gen  uint32
+}
+
+// Cancel disarms the timer: OnTimer will not be invoked. Like a
+// cancelled closure event, a cancelled timer immediately stops counting
+// towards quiescence — it can never run protocol code — even though its
+// tagged event drains from the schedule only when its firing time passes.
+func (t Timer) Cancel() {
+	if t.net == nil {
+		return
+	}
+	s := &t.net.timers[t.slot]
+	if !s.armed || s.gen != t.gen {
+		return
+	}
+	s.armed = false
+	t.net.liveTimers--
+	t.net.freeTimer(t.slot)
+}
+
+// Armed reports whether the timer is still pending: armed, not cancelled,
+// not yet fired.
+func (t Timer) Armed() bool {
+	if t.net == nil {
+		return false
+	}
+	s := &t.net.timers[t.slot]
+	return s.armed && s.gen == t.gen
+}
+
+// ScheduleTimer arms a protocol timer on this node: after delay seconds
+// of simulated time the node's protocol receives OnTimer(tag). The tag is
+// the protocol's own correlation value (typically a message ID); the
+// returned handle cancels the timer. No allocation occurs.
+func (n *Node) ScheduleTimer(delay float64, tag int32) Timer {
+	net := n.net
+	slot := net.allocTimer()
+	s := &net.timers[slot]
+	s.node = int32(n.ID)
+	s.tag = tag
+	s.armed = true
+	net.liveTimers++
+	net.Sim.ScheduleTagged(delay, evProtoTimer, slot, int32(s.gen))
+	return Timer{net: net, slot: slot, gen: s.gen}
+}
+
+// allocTimer takes a timer slot from the free list (or grows the table).
+func (net *Network) allocTimer() int32 {
+	if k := len(net.freeTimers); k > 0 {
+		i := net.freeTimers[k-1]
+		net.freeTimers = net.freeTimers[:k-1]
+		return i
+	}
+	net.timers = append(net.timers, protoTimer{})
+	return int32(len(net.timers) - 1)
+}
+
+// freeTimer returns a slot to the free list, bumping its generation so
+// pending events addressed at the old occupancy are recognisably stale.
+func (net *Network) freeTimer(i int32) {
+	net.timers[i].gen++
+	net.freeTimers = append(net.freeTimers, i)
+}
+
+// fireTimer handles an evProtoTimer event. Stale events — the slot was
+// cancelled, already fired and possibly re-armed, or belongs to a
+// previous instantiation through the same arena — fail the (bounds,
+// armed, generation) checks and fall through silently.
+func (net *Network) fireTimer(slot, gen int32) {
+	if int(slot) >= len(net.timers) {
+		return
+	}
+	s := &net.timers[slot]
+	if !s.armed || s.gen != uint32(gen) {
+		return
+	}
+	s.armed = false
+	net.liveTimers--
+	node, tag := s.node, s.tag
+	net.freeTimer(slot)
+	if p := net.Nodes[node].proto; p != nil {
+		p.OnTimer(tag)
+	}
 }
 
 // Network is one simulation instance.
@@ -387,6 +514,28 @@ type Network struct {
 	physIDs []int32
 	physD2  []float64
 	physRx  []float64
+	// physSched is the admitted-reception scratch of transmitFrame,
+	// sorted by arrival time so the reception batch can ride the
+	// simulator's monotone FIFO lane instead of the event heap.
+	physSched []rxSched
+
+	// Structure-of-arrays per-node hot state, indexed by node ID. posX/
+	// posY hold the position memoised at instant posAt (NaN = nothing
+	// memoised: the stamp every (re)initialisation resets to, so a
+	// recycled network can never serve a previous scenario's position —
+	// see initHotState). txUntil is the half-duplex transmission deadline.
+	// Keeping these in network-owned columns rather than Node fields lets
+	// the d2 gather of transmitFrame/fastBeacon and the grid rebuild run
+	// over contiguous memory.
+	posX, posY, posAt []float64
+	txUntil           []float64
+
+	// timers is the protocol timer table (see protoTimer); freeTimers its
+	// free list. liveTimers counts armed timers and feeds Quiescent: an
+	// armed timer is pending protocol code exactly like a live closure.
+	timers     []protoTimer
+	freeTimers []int32
+	liveTimers int
 
 	// recs is the reception pool; freeRecs its free list.
 	recs     []reception
@@ -490,6 +639,7 @@ func New(cfg Config, seed uint64, makeProto func(*Node) Protocol) (*Network, err
 	net.maxRange = cfg.PathLoss.RangeFor(cfg.DefaultTxPowerDBm, cfg.SensitivityDBm)
 	net.initKernel()
 	net.initGrid()
+	net.initHotState()
 
 	for i := 0; i < cfg.NumNodes; i++ {
 		nodeRng := master.Split()
@@ -500,11 +650,10 @@ func New(cfg Config, seed uint64, makeProto func(*Node) Protocol) (*Network, err
 			mob = mobility.NewRandomWalk(cfg.Area, cfg.SpeedMin, cfg.SpeedMax, cfg.ChangeInterval, nodeRng.Split())
 		}
 		n := &Node{
-			ID:       i,
-			net:      net,
-			mob:      mob,
-			Rng:      nodeRng,
-			cachedAt: math.NaN(),
+			ID:  i,
+			net: net,
+			mob: mob,
+			Rng: nodeRng,
 		}
 		if cfg.NumNodes <= nbrIndexMaxNodes {
 			n.nbrPos = make([]int32, cfg.NumNodes)
@@ -594,6 +743,8 @@ func (net *Network) dispatch(kind uint16, a, b int32) {
 		net.frameStart(net.Nodes[a], b)
 	case evFrameEnd:
 		net.frameEnd(net.Nodes[a], b)
+	case evProtoTimer:
+		net.fireTimer(a, b)
 	default:
 		panic(fmt.Sprintf("manet: unknown event kind %d", kind))
 	}
@@ -608,14 +759,53 @@ func (net *Network) scheduleMobility(n *Node) {
 }
 
 // positionOf returns a node's exact position at the current instant,
-// memoised per (node, instant).
+// memoised per (node, instant) in the network-owned position columns.
 func (net *Network) positionOf(n *Node) geom.Vec2 {
-	now := net.Sim.Now()
-	if n.cachedAt != now {
-		n.cachedPos = n.mob.Position(now)
-		n.cachedAt = now
+	x, y := net.posOf(int32(n.ID), net.Sim.Now())
+	return geom.Vec2{X: x, Y: y}
+}
+
+// posOf is positionOf by node ID, returning the coordinates directly from
+// the position columns: posAt[id] stamps the instant the memoised value
+// is valid for (NaN = invalid), so within one event instant each
+// trajectory is evaluated at most once and every later read is two
+// contiguous array loads.
+func (net *Network) posOf(id int32, now float64) (x, y float64) {
+	if net.posAt[id] != now {
+		p := net.Nodes[id].mob.Position(now)
+		net.posX[id], net.posY[id] = p.X, p.Y
+		net.posAt[id] = now
 	}
-	return n.cachedPos
+	return net.posX[id], net.posY[id]
+}
+
+// initHotState sizes the structure-of-arrays per-node columns and resets
+// the protocol timer table. The NaN fill of posAt is the position-cache
+// invalidation on (re)use: sim.Reset restarts every arena instantiation
+// at the same warm-up cut, so without it a recycled network whose new
+// scenario shares an instant with the old one would serve the previous
+// scenario's memoised position.
+func (net *Network) initHotState() {
+	nn := net.Cfg.NumNodes
+	if cap(net.posX) < nn {
+		net.posX = make([]float64, nn)
+		net.posY = make([]float64, nn)
+		net.posAt = make([]float64, nn)
+		net.txUntil = make([]float64, nn)
+	} else {
+		net.posX = net.posX[:nn]
+		net.posY = net.posY[:nn]
+		net.posAt = net.posAt[:nn]
+		net.txUntil = net.txUntil[:nn]
+	}
+	nan := math.NaN()
+	for i := 0; i < nn; i++ {
+		net.posAt[i] = nan
+		net.txUntil[i] = 0
+	}
+	net.timers = net.timers[:0]
+	net.freeTimers = net.freeTimers[:0]
+	net.liveTimers = 0
 }
 
 // candidates returns the IDs of every node whose current position may lie
@@ -673,15 +863,18 @@ func (net *Network) fastBeacon(n *Node) {
 	n.TxEnergyMJ += radio.TxEnergyMilliJoule(cfg.DefaultTxPowerDBm, duration)
 	n.TxFrames++
 	pos := net.positionOf(n)
+	px, py := pos.X, pos.Y
 	r2 := net.maxRange * net.maxRange
 	if net.tapeRec == nil {
 		for _, id := range net.candidates(pos, net.maxRange, n.ID, false) {
-			other := net.Nodes[id]
-			d2 := pos.Dist2(net.positionOf(other))
+			qx, qy := net.posOf(id, now)
+			dx, dy := px-qx, py-qy
+			d2 := dx*dx + dy*dy
 			if d2 > r2 {
 				continue
 			}
 			// The dBm conversion is deferred to table reads (see nbrRec).
+			other := net.Nodes[id]
 			other.upsertNeighbor(nbrRec{id: int32(n.ID), d2: d2, lastHeard: now})
 			other.RxFrames++
 		}
@@ -693,7 +886,9 @@ func (net *Network) fastBeacon(n *Node) {
 	ids := net.physIDs[:0]
 	d2s := net.physD2[:0]
 	for _, id := range net.candidates(pos, net.maxRange, n.ID, false) {
-		d2 := pos.Dist2(net.positionOf(net.Nodes[id]))
+		qx, qy := net.posOf(id, now)
+		dx, dy := px-qx, py-qy
+		d2 := dx*dx + dy*dy
 		if d2 > r2 {
 			continue
 		}
@@ -834,8 +1029,8 @@ func (net *Network) transmitFrame(n *Node, msg *Message, txPowerDBm float64, byt
 	n.TxFrames++
 	// Half duplex: the sender cannot receive while transmitting, and any
 	// reception already in flight at the sender is lost.
-	if n.txUntil < now+duration {
-		n.txUntil = now + duration
+	if net.txUntil[n.ID] < now+duration {
+		net.txUntil[n.ID] = now + duration
 	}
 	for _, ri := range n.active {
 		net.recs[ri].corrupted = true
@@ -849,13 +1044,19 @@ func (net *Network) transmitFrame(n *Node, msg *Message, txPowerDBm float64, byt
 	// same structure the reference path uses with RangeFor squared.
 	cut := net.kern.CutoffD2(txPowerDBm, cfg.SensitivityDBm)
 	reach := math.Sqrt(cut)
-	// Receivers in ascending ID order: reception events get sequence
-	// numbers in the same order a linear node scan would assign, so
-	// same-instant tie-breaking matches across runs and paths.
+	// Candidates gathered in ascending ID order; the admitted receptions
+	// are then sorted by (arrival time, ID) below, which both preserves
+	// the firing order of the historical schedule-in-ID-order scheme —
+	// events fire in (time, seq) order, and among a transmission's
+	// receptions that collapses to (time, ID) either way — and lets the
+	// whole batch ride the simulator's monotone FIFO lane.
 	ids := net.physIDs[:0]
 	d2s := net.physD2[:0]
+	px, py := pos.X, pos.Y
 	for _, id := range net.candidates(pos, reach, n.ID, true) {
-		d2 := pos.Dist2(net.positionOf(net.Nodes[id]))
+		qx, qy := net.posOf(id, now)
+		dx, dy := px-qx, py-qy
+		d2 := dx*dx + dy*dy
 		if d2 > cut {
 			continue
 		}
@@ -866,6 +1067,7 @@ func (net *Network) transmitFrame(n *Node, msg *Message, txPowerDBm float64, byt
 	// distance to its reception power.
 	rxs := net.kern.RxPowerInto(net.physRx, txPowerDBm, d2s)
 	net.physIDs, net.physD2, net.physRx = ids, d2s, rxs
+	sched := net.physSched[:0]
 	for i, id := range ids {
 		rx := rxs[i]
 		if rx < cfg.SensitivityDBm {
@@ -875,13 +1077,38 @@ func (net *Network) transmitFrame(n *Node, msg *Message, txPowerDBm float64, byt
 		if cfg.PropagationSpeed > 0 {
 			prop = math.Sqrt(d2s[i]) / cfg.PropagationSpeed
 		}
+		sched = append(sched, rxSched{t: now + prop, rx: rx, id: int32(id)})
+	}
+	// Insertion sort by (arrival time, receiver ID). The batch is small
+	// (a node's in-range receivers) and nearly sorted when propagation
+	// delay is off; the (t, id) key is a strict total order, so the
+	// result — and with it every sequence-number assignment below — is
+	// deterministic.
+	for i := 1; i < len(sched); i++ {
+		e := sched[i]
+		j := i
+		for j > 0 && (e.t < sched[j-1].t || (e.t == sched[j-1].t && e.id < sched[j-1].id)) {
+			sched[j] = sched[j-1]
+			j--
+		}
+		sched[j] = e
+	}
+	net.physSched = sched
+	for _, e := range sched {
 		ri := net.allocRec()
-		net.recs[ri] = reception{from: int32(n.ID), powerDBm: rx, start: now + prop, end: now + prop + duration, msg: msg}
+		net.recs[ri] = reception{from: int32(n.ID), powerDBm: e.rx, start: e.t, end: e.t + duration, msg: msg}
 		if msg != nil {
 			net.dataInFlight++
 		}
-		net.Sim.AtTagged(now+prop, evFrameStart, int32(id), ri)
+		net.Sim.AtTaggedMonotone(e.t, evFrameStart, e.id, ri)
 	}
+}
+
+// rxSched is one admitted reception of a transmission, staged for
+// time-sorted scheduling (see transmitFrame).
+type rxSched struct {
+	t, rx float64
+	id    int32
 }
 
 // frameStart registers an in-flight frame at the receiver and applies the
@@ -889,7 +1116,7 @@ func (net *Network) transmitFrame(n *Node, msg *Message, txPowerDBm float64, byt
 func (net *Network) frameStart(n *Node, ri int32) {
 	rec := &net.recs[ri]
 	// Receiver mid-transmission loses the frame (half duplex).
-	if net.Sim.Now() < n.txUntil {
+	if net.Sim.Now() < net.txUntil[n.ID] {
 		rec.corrupted = true
 	}
 	capture := net.Cfg.CaptureThresholdDB
@@ -905,7 +1132,10 @@ func (net *Network) frameStart(n *Node, ri int32) {
 		}
 	}
 	n.active = append(n.active, ri)
-	net.Sim.AtTagged(rec.end, evFrameEnd, int32(n.ID), ri)
+	// Frame ends are enqueued at start time plus a constant per-class
+	// duration, so within a transmission (and across non-overlapping
+	// ones) they arrive in firing order: the monotone FIFO lane applies.
+	net.Sim.AtTaggedMonotone(rec.end, evFrameEnd, int32(n.ID), ri)
 }
 
 // frameEnd finalises one reception: drop it from the active set and, if it
@@ -960,14 +1190,15 @@ func (net *Network) frameEnd(n *Node, ri int32) {
 func (net *Network) Run() { net.Sim.RunUntil(net.Cfg.EndTime) }
 
 // Quiescent reports whether the current broadcast activity is over: no
-// closure event (broadcast origination, protocol timer) is pending and no
-// data frame is in flight. From a quiescent state no protocol code can
-// ever run again — the remaining tagged events are beacons, mobility
-// changes and beacon frame boundaries, none of which invokes a protocol
-// or touches a stats collector — so every BroadcastStats field and the
-// Collisions counter are final.
+// closure event (broadcast origination) is pending, no protocol timer is
+// armed, and no data frame is in flight. From a quiescent state no
+// protocol code can ever run again — the remaining tagged events are
+// beacons, mobility changes, beacon frame boundaries and stale (cancelled
+// or fired) timer events, none of which invokes a protocol or touches a
+// stats collector — so every BroadcastStats field and the Collisions
+// counter are final.
 func (net *Network) Quiescent() bool {
-	return net.Sim.PendingClosures() == 0 && net.dataInFlight == 0
+	return net.Sim.PendingClosures() == 0 && net.liveTimers == 0 && net.dataInFlight == 0
 }
 
 // RunToQuiescence executes the simulation until cfg.EndTime, stopping

@@ -44,6 +44,7 @@ func (r *recorder) OnData(msg *Message, from int, p float64) {
 		r.onData(r, msg, from, p)
 	}
 }
+func (r *recorder) OnTimer(int32) {}
 
 func buildRecorderNet(t *testing.T, positions []geom.Vec2, seed uint64) (*Network, []*recorder) {
 	t.Helper()

@@ -27,7 +27,6 @@ package manet
 
 import (
 	"fmt"
-	"math"
 
 	"aedbmls/internal/mobility"
 	"aedbmls/internal/rng"
@@ -76,14 +75,31 @@ func BuildSnapshot(cfg Config, seed uint64, cutTime float64) (*Snapshot, error) 
 }
 
 // Snapshot captures the network's current state. It fails if the state is
-// not serialisable: a pending closure event (protocol timer) or an
-// in-flight data frame cannot be captured, only the protocol-independent
-// warm-up machinery (beacons, mobility, beacon receptions) can.
+// not serialisable: a pending closure event (broadcast origination), an
+// armed protocol timer or an in-flight data frame cannot be captured,
+// only the protocol-independent warm-up machinery (beacons, mobility,
+// beacon receptions) can.
 func (net *Network) Snapshot() (*Snapshot, error) {
 	events, ok := net.Sim.SnapshotEvents()
 	if !ok {
 		return nil, fmt.Errorf("manet: cannot snapshot with pending closure events")
 	}
+	if net.liveTimers > 0 {
+		return nil, fmt.Errorf("manet: cannot snapshot with armed protocol timers")
+	}
+	// Any timer events still in the schedule are stale (cancelled or
+	// fired slots); they carry no state worth replaying, so drop them
+	// rather than capturing references into a timer table that will not
+	// exist on the other side.
+	w := 0
+	for _, ev := range events {
+		if ev.Kind == evProtoTimer {
+			continue
+		}
+		events[w] = ev
+		w++
+	}
+	events = events[:w]
 	free := make(map[int32]bool, len(net.freeRecs))
 	for _, i := range net.freeRecs {
 		free[i] = true
@@ -110,7 +126,7 @@ func (net *Network) Snapshot() (*Snapshot, error) {
 			rng:        n.Rng.Clone(),
 			neighbors:  append([]nbrRec(nil), n.neighbors...),
 			active:     append([]int32(nil), n.active...),
-			txUntil:    n.txUntil,
+			txUntil:    net.txUntil[i],
 			txEnergyMJ: n.TxEnergyMJ,
 			txFrames:   n.TxFrames,
 			rxFrames:   n.RxFrames,
@@ -220,6 +236,11 @@ func (s *Snapshot) instantiate(makeProto func(*Node) Protocol, source int, start
 	net.maxRange = s.cfg.PathLoss.RangeFor(s.cfg.DefaultTxPowerDBm, s.cfg.SensitivityDBm)
 	net.initKernel()
 	net.initGrid()
+	// Re-sizes the position/deadline columns, invalidates every memoised
+	// position (the arena recycles this Network object, and sim.Reset has
+	// just rewound the clock to the same warm-up cut every scenario uses)
+	// and clears the timer table.
+	net.initHotState()
 	if tape != nil {
 		net.tape = tape
 		if cap(net.tapeCur) < nn {
@@ -258,7 +279,12 @@ func (s *Snapshot) instantiate(makeProto func(*Node) Protocol, source int, start
 		a.rngBlock[i] = *ns.rng
 		n := &a.nodeBlock[i]
 		// Harvest the buffers the previous simulation grew before the
-		// struct is overwritten.
+		// struct is overwritten, and release its protocol instance for
+		// reuse — this is the instant the arena contract invalidates the
+		// previous network, so the instance is guaranteed idle.
+		if r, ok := n.proto.(ProtoRecycler); ok {
+			r.Recycle()
+		}
 		nbrBuf := n.neighbors[:0]
 		if cap(nbrBuf) < len(ns.neighbors) {
 			nbrBuf = make([]nbrRec, 0, len(ns.neighbors)+8)
@@ -278,13 +304,12 @@ func (s *Snapshot) instantiate(makeProto func(*Node) Protocol, source int, start
 			neighbors:  append(nbrBuf, ns.neighbors...),
 			nbrOut:     outBuf,
 			active:     append(activeBuf, ns.active...),
-			txUntil:    ns.txUntil,
-			cachedAt:   math.NaN(),
 			TxEnergyMJ: ns.txEnergyMJ,
 			TxFrames:   ns.txFrames,
 			RxFrames:   ns.rxFrames,
 			LostFrames: ns.lostFrames,
 		}
+		net.txUntil[i] = ns.txUntil
 		if a.posBlock != nil {
 			n.nbrPos = a.posBlock[i*nn : (i+1)*nn : (i+1)*nn]
 			for j, e := range n.neighbors {

@@ -12,11 +12,18 @@ import (
 
 // forwardOnce is a minimal protocol: every node re-broadcasts the first
 // copy it receives at a power derived from its neighbor table, after a
-// node-RNG delay. It exercises every state a snapshot must reproduce:
-// neighbor tables, node RNG streams, and event ordering.
+// node-RNG delay armed through the protocol timer table. It exercises
+// every state a snapshot must reproduce: neighbor tables, node RNG
+// streams, and event ordering.
 type forwardOnce struct {
-	node *Node
-	seen map[int]bool
+	node    *Node
+	seen    map[int]bool
+	pending map[int]pendingForward
+}
+
+type pendingForward struct {
+	msg   *Message
+	power float64
 }
 
 func (f *forwardOnce) Init(n *Node) { f.node = n }
@@ -37,10 +44,17 @@ func (f *forwardOnce) OnData(msg *Message, _ int, _ float64) {
 		}
 	}
 	delay := f.node.Rng.Range(0, 0.2)
-	f.node.Schedule(delay, func() { f.node.Network().TransmitData(f.node, msg, power) })
+	f.pending[msg.ID] = pendingForward{msg: msg, power: power}
+	f.node.ScheduleTimer(delay, int32(msg.ID))
+}
+func (f *forwardOnce) OnTimer(tag int32) {
+	p := f.pending[int(tag)]
+	f.node.Network().TransmitData(f.node, p.msg, p.power)
 }
 
-func newForwardOnce(*Node) Protocol { return &forwardOnce{seen: make(map[int]bool)} }
+func newForwardOnce(*Node) Protocol {
+	return &forwardOnce{seen: make(map[int]bool), pending: make(map[int]pendingForward)}
+}
 
 // runScratch simulates cfg from scratch and returns the stats plus the
 // network (for Collisions).

@@ -208,15 +208,40 @@ func (k *Kernel) RxPowerInto(dst []float64, txDBm float64, d2s []float64) []floa
 	}
 	if k.nseg == 1 {
 		// The common case (LogDistance, Friis) with the segment constants
-		// hoisted out of the loop. The expression shape must match loss2
-		// exactly so batched and per-call conversions are bit-identical.
+		// hoisted out of the loop, unrolled 4-wide: the Log10 evaluations
+		// of the four lanes are independent, so the unroll exposes their
+		// instruction-level parallelism and amortises the loop overhead
+		// over a cache line of inputs. Each lane's expression shape must
+		// match loss2 exactly so batched and per-call conversions are
+		// bit-identical (the unroll only reorders independent elements,
+		// never the operations within one element).
 		b0, base0, slope, inv := k.break2[0], k.base[0], k.slope5[0], k.invRef2[0]
-		for i, d2 := range d2s {
-			if d2 <= b0 {
-				dst[i] = txDBm - base0
-				continue
+		flat := txDBm - base0
+		n := len(d2s)
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			d2a, d2b, d2c, d2d := d2s[i], d2s[i+1], d2s[i+2], d2s[i+3]
+			ra, rb, rc, rd := flat, flat, flat, flat
+			if d2a > b0 {
+				ra = txDBm - (base0 + slope*math.Log10(d2a*inv))
 			}
-			dst[i] = txDBm - (base0 + slope*math.Log10(d2*inv))
+			if d2b > b0 {
+				rb = txDBm - (base0 + slope*math.Log10(d2b*inv))
+			}
+			if d2c > b0 {
+				rc = txDBm - (base0 + slope*math.Log10(d2c*inv))
+			}
+			if d2d > b0 {
+				rd = txDBm - (base0 + slope*math.Log10(d2d*inv))
+			}
+			dst[i], dst[i+1], dst[i+2], dst[i+3] = ra, rb, rc, rd
+		}
+		for ; i < n; i++ {
+			if d2 := d2s[i]; d2 > b0 {
+				dst[i] = txDBm - (base0 + slope*math.Log10(d2*inv))
+			} else {
+				dst[i] = flat
+			}
 		}
 		return dst
 	}

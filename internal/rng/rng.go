@@ -115,12 +115,44 @@ func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) * 0x1p-53
 }
 
-// Range returns a uniform float64 in [lo, hi). It panics if hi < lo.
+// Range returns a uniform float64 in the HALF-OPEN interval [lo, hi). It
+// panics if hi < lo.
 func (r *Rand) Range(lo, hi float64) float64 {
 	if hi < lo {
 		panic("rng: Range with hi < lo")
 	}
 	return lo + (hi-lo)*r.Float64()
+}
+
+// float64ClosedDenom is the largest value float64Closed's 53-bit draw can
+// take, making the quotient span [0, 1] inclusive at both ends.
+const float64ClosedDenom = float64(1<<53 - 1)
+
+// RangeClosed returns a uniform float64 in the CLOSED interval [lo, hi]:
+// the draw is a uniform point of a 2^53-point lattice whose first point is
+// lo and whose last is hi (up to one final rounding of lo + (hi-lo)), and
+// the result never lands outside [lo, hi]. It panics if hi < lo; lo == hi
+// returns lo.
+//
+// This is the correct primitive for "draw a delay in [min, max]"-style
+// protocol intervals. The historical idiom Range(lo, hi+1e-15) is wrong at
+// both ends of the scale: for bounds >= ~1 s the constant 1e-15 is below
+// one ULP of hi, so the addition rounds away to exactly hi and the result
+// is silently the half-open Range(lo, hi); for sub-microsecond bounds the
+// same constant is many ULPs wide and the draw can land strictly ABOVE hi.
+// RangeClosed has neither failure mode at any magnitude.
+func (r *Rand) RangeClosed(lo, hi float64) float64 {
+	if hi < lo {
+		panic("rng: RangeClosed with hi < lo")
+	}
+	f := float64(r.Uint64()>>11) / float64ClosedDenom // uniform in [0, 1], endpoints included
+	v := lo + (hi-lo)*f
+	if v > hi {
+		// lo + (hi-lo) can round one ULP past hi; the interval is closed,
+		// not half-open-plus-epsilon, so clamp the boundary draw back.
+		return hi
+	}
+	return v
 }
 
 // Intn returns a uniform int in [0, n). It panics if n <= 0.

@@ -92,12 +92,22 @@ func (e entry) before(o entry) bool {
 // seq) total order, so the pop sequence is identical to a single heap —
 // but a replay simulation's heap only ever holds the handful of
 // in-flight frame/timer events, not the whole restored schedule.
+// The third tier is the monotone FIFO lane: tagged events whose firing
+// times arrive in non-decreasing order (frame-end events, whose time is
+// the enqueue time plus a constant frame duration, and pre-sorted
+// reception batches) are appended to a plain slice and consumed through
+// a cursor, skipping the heap's O(log n) sift entirely. Entries carry
+// ordinary sequence numbers, so the three-way head comparison in
+// peek/pop yields exactly the (time, seq) total order a single heap
+// would — the lane is a pure constant-factor optimisation.
 type Simulator struct {
 	now      float64
 	seq      uint64
 	heap     []entry // runtime-scheduled events (min-heap)
 	sched    []entry // restored schedule, sorted; consumed from schedIdx
 	schedIdx int
+	lane     []entry // monotone FIFO lane, sorted by construction; consumed from laneIdx
+	laneIdx  int
 
 	stopped   bool
 	fired     uint64
@@ -146,6 +156,8 @@ func (s *Simulator) Reset(now float64, events []TaggedEvent) {
 		s.sched[i] = entry{time: ev.Time, seq: uint64(i) + 1, kind: ev.Kind, a: ev.A, b: ev.B}
 	}
 	s.schedIdx = 0
+	s.lane = s.lane[:0] // tagged entries only: nothing to release
+	s.laneIdx = 0
 	s.now = now
 	s.seq = uint64(len(events)) + 1
 	s.stopped = false
@@ -168,7 +180,9 @@ func (s *Simulator) Fired() uint64 { return s.fired }
 
 // Pending returns the number of scheduled, not-yet-fired events, including
 // cancelled events that have not been drained yet.
-func (s *Simulator) Pending() int { return len(s.heap) + len(s.sched) - s.schedIdx }
+func (s *Simulator) Pending() int {
+	return len(s.heap) + len(s.sched) - s.schedIdx + len(s.lane) - s.laneIdx
+}
 
 // PendingClosures returns the number of live (not cancelled, not yet
 // fired) closure events in the event list. Tagged events never count.
@@ -206,30 +220,48 @@ func (s *Simulator) push(e entry) {
 }
 
 // peek returns the earliest pending entry without removing it: the
-// smaller of the restored-schedule head and the heap top under the
-// (time, seq) total order.
+// smallest of the restored-schedule head, the FIFO-lane head and the
+// heap top under the (time, seq) total order.
 func (s *Simulator) peek() (entry, bool) {
-	hasSched := s.schedIdx < len(s.sched)
-	if len(s.heap) == 0 {
-		if !hasSched {
-			return entry{}, false
+	var best entry
+	have := false
+	if s.schedIdx < len(s.sched) {
+		best, have = s.sched[s.schedIdx], true
+	}
+	if s.laneIdx < len(s.lane) {
+		if e := s.lane[s.laneIdx]; !have || e.before(best) {
+			best, have = e, true
 		}
-		return s.sched[s.schedIdx], true
 	}
-	if hasSched && s.sched[s.schedIdx].before(s.heap[0]) {
-		return s.sched[s.schedIdx], true
+	if len(s.heap) > 0 {
+		if e := s.heap[0]; !have || e.before(best) {
+			best, have = e, true
+		}
 	}
-	return s.heap[0], true
+	return best, have
 }
 
 // pop removes and returns the earliest entry, consuming the restored
-// schedule through its cursor and the heap otherwise.
+// schedule and the FIFO lane through their cursors and the heap
+// otherwise. Sequence numbers are unique, so before() is a strict total
+// order and exactly one source holds the minimum.
 func (s *Simulator) pop() entry {
+	hasLane := s.laneIdx < len(s.lane)
 	if s.schedIdx < len(s.sched) {
 		e := s.sched[s.schedIdx]
-		if len(s.heap) == 0 || e.before(s.heap[0]) {
+		if (!hasLane || e.before(s.lane[s.laneIdx])) && (len(s.heap) == 0 || e.before(s.heap[0])) {
 			s.schedIdx++
 			return e // restored entries are tagged: no closure accounting
+		}
+	}
+	if hasLane {
+		if e := s.lane[s.laneIdx]; len(s.heap) == 0 || e.before(s.heap[0]) {
+			s.laneIdx++
+			if s.laneIdx == len(s.lane) {
+				// Drained: rewind so the storage is reused, not regrown.
+				s.lane, s.laneIdx = s.lane[:0], 0
+			}
+			return e // lane entries are tagged: no closure accounting
 		}
 	}
 	return s.popHeap()
@@ -344,6 +376,33 @@ func (s *Simulator) AtTagged(t float64, kind uint16, a, b int32) {
 	s.seq++
 }
 
+// AtTaggedMonotone schedules a tagged event at absolute time t through
+// the FIFO lane when the event sorts at or after the current lane tail,
+// and falls back to an ordinary heap insertion otherwise. Callers whose
+// firing times are non-decreasing by construction — frame-end events at
+// enqueue time plus a constant duration, reception batches pre-sorted by
+// arrival — get O(1) scheduling and O(1) removal in place of two heap
+// sifts; out-of-order stragglers (overlapping transmissions) silently
+// take the heap, so the call is always legal. Firing order is identical
+// to AtTagged in every case: lane entries consume the same sequence
+// counter and the pop path merges all tiers under the (time, seq) total
+// order.
+func (s *Simulator) AtTaggedMonotone(t float64, kind uint16, a, b int32) {
+	if t < s.now {
+		t = s.now
+	}
+	e := entry{time: t, seq: s.seq, kind: kind, a: a, b: b}
+	s.seq++
+	if n := len(s.lane); n == s.laneIdx || !e.before(s.lane[n-1]) {
+		if s.laneIdx == len(s.lane) {
+			s.lane, s.laneIdx = s.lane[:0], 0
+		}
+		s.lane = append(s.lane, e)
+		return
+	}
+	s.push(e)
+}
+
 // SnapshotEvents returns every pending tagged event, sorted in firing
 // order. ok is false if a live (non-cancelled) closure event is pending:
 // closures cannot be serialised, so such a simulator is not snapshottable.
@@ -351,6 +410,7 @@ func (s *Simulator) AtTagged(t float64, kind uint16, a, b int32) {
 func (s *Simulator) SnapshotEvents() (events []TaggedEvent, ok bool) {
 	pending := make([]entry, 0, s.Pending())
 	pending = append(pending, s.sched[s.schedIdx:]...)
+	pending = append(pending, s.lane[s.laneIdx:]...)
 	for _, e := range s.heap {
 		if e.ev != nil {
 			if e.ev.cancelled {

@@ -11,7 +11,7 @@
 #
 # Smoke mode (CI regression gate):
 #
-#	scripts/bench.sh --smoke [min_ratio_pct]
+#	scripts/bench.sh --smoke [min_ratio_pct] [max_allocs]
 #
 # runs the density-300 batch benchmark through BOTH engines in one
 # process — the default fast engine and the full-tail reference engine —
@@ -21,23 +21,37 @@
 # runner at the same moment, so the gate is robust to machine speed while
 # still catching the failure it exists for — the default path silently
 # degrading towards (or past) reference-engine cost.
+#
+# The smoke gate also enforces an allocs/op ceiling on the fast d300 arm
+# (default 20000). Unlike ns/op, allocation counts are machine-independent
+# and deterministic, so an absolute ceiling is safe in CI. The batch sits
+# around 3.4k allocs/op with protocol pooling and the arena paths live;
+# the ceiling at ~6x that still sits far below the ~95k a regression to
+# per-node-per-candidate protocol allocation would produce.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [ "${1:-}" = "--smoke" ]; then
   MIN_RATIO_PCT="${2:-150}"
-  RAW="$(go test -run '^$' -bench 'BenchmarkEvaluateBatch(Reference)?/300' -benchtime=3x . 2>&1)"
+  MAX_ALLOCS="${3:-20000}"
+  RAW="$(go test -run '^$' -bench 'BenchmarkEvaluateBatch(Reference)?/300' -benchmem -benchtime=3x . 2>&1)"
   echo "$RAW"
   FAST="$(echo "$RAW" | awk '$1 ~ /^BenchmarkEvaluateBatch\/300/ {print $3; exit}')"
   REF="$(echo "$RAW" | awk '$1 ~ /^BenchmarkEvaluateBatchReference\/300/ {print $3; exit}')"
-  if [ -z "${FAST:-}" ] || [ -z "${REF:-}" ]; then
-    echo "smoke: missing measurement (fast=${FAST:-none}, reference=${REF:-none})" >&2
+  ALLOCS="$(echo "$RAW" | awk '$1 ~ /^BenchmarkEvaluateBatch\/300/ {print $7; exit}')"
+  if [ -z "${FAST:-}" ] || [ -z "${REF:-}" ] || [ -z "${ALLOCS:-}" ]; then
+    echo "smoke: missing measurement (fast=${FAST:-none}, reference=${REF:-none}, allocs=${ALLOCS:-none})" >&2
     exit 1
   fi
   RATIO_PCT=$((REF * 100 / FAST))
   echo "smoke: fast ${FAST} ns/op vs reference ${REF} ns/op -> ${RATIO_PCT}% (fail below ${MIN_RATIO_PCT}%)"
+  echo "smoke: fast d300 batch ${ALLOCS} allocs/op (fail above ${MAX_ALLOCS})"
   if [ "$RATIO_PCT" -lt "$MIN_RATIO_PCT" ]; then
     echo "smoke: fast engine no longer holds a ${MIN_RATIO_PCT}% lead over the reference engine" >&2
+    exit 1
+  fi
+  if [ "$ALLOCS" -gt "$MAX_ALLOCS" ]; then
+    echo "smoke: fast d300 batch allocates ${ALLOCS}/op, above the ${MAX_ALLOCS} ceiling (allocation regression)" >&2
     exit 1
   fi
   exit 0
