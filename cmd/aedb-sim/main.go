@@ -5,7 +5,7 @@
 //
 //	aedb-sim [-density 100] [-seed 1] [-min-delay 0.1] [-max-delay 0.5]
 //	         [-border -80] [-margin 1] [-neighbors 10] [-protocol aedb]
-//	         [-exact-physics]
+//	         [-exact-physics] [-trace run.aedbtr]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"aedbmls/internal/cliutil"
 	"aedbmls/internal/eval"
 	"aedbmls/internal/manet"
+	dectrace "aedbmls/internal/trace"
 )
 
 func main() {
@@ -35,6 +36,7 @@ func main() {
 	neighbors := flag.Float64("neighbors", 10, "AEDB neighbors threshold (devices)")
 	protocol := flag.String("protocol", "aedb", "protocol: aedb, flooding or distance")
 	exactPhysics := flag.Bool("exact-physics", false, "reference per-call path-loss physics instead of the fused d2-space kernel (paper-exact energy bits, slower)")
+	traceFile := flag.String("trace", "", "record every forwarding decision to this binary trace file (inspect with aedb-trace)")
 	flag.Parse()
 
 	nodes, ok := eval.DensityNodes[*density]
@@ -73,6 +75,10 @@ func main() {
 	cfg.OnDataLost = func(node, from, msgID int, t float64) {
 		trace = append(trace, traceEvent{t, "LOST", node, fmt.Sprintf("frame from node %d (collision)", from)})
 	}
+	var collector dectrace.Collector
+	if *traceFile != "" {
+		cfg.OnDecision = collector.Record
+	}
 
 	net, err := manet.New(cfg, *seed, factory)
 	if err != nil {
@@ -88,7 +94,21 @@ func main() {
 	st.EachFirstRx(func(id int, t float64) {
 		trace = append(trace, traceEvent{t, "RX", id, "first copy"})
 	})
-	sort.Slice(trace, func(i, j int) bool { return trace[i].t < trace[j].t })
+	// Ties in t are real (a TX and the RX it causes share a timestamp, and
+	// collisions produce same-instant LOST events); a non-stable sort keyed
+	// only on t printed them in an unspecified order, so identical runs
+	// could differ textually. Stable sort plus a full (t, kind, node) key
+	// makes the trace a pure function of the simulation.
+	sort.SliceStable(trace, func(i, j int) bool {
+		a, b := trace[i], trace[j]
+		if a.t != b.t {
+			return a.t < b.t
+		}
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		return a.node < b.node
+	})
 	fmt.Printf("dissemination trace (t=0 at broadcast start):\n")
 	for _, ev := range trace {
 		fmt.Printf("  +%7.3fs  node %-3d %-4s %s\n", ev.t-st.SentAt, ev.node, ev.kind, ev.info)
@@ -101,5 +121,34 @@ func main() {
 	fmt.Printf("collisions:     %d data frames lost\n", net.Collisions)
 	if st.BroadcastTime() >= eval.BroadcastTimeLimit {
 		fmt.Fprintln(os.Stderr, "note: this configuration violates the broadcast-time constraint")
+	}
+
+	if *traceFile != "" {
+		tr := &dectrace.Trace{
+			Header: dectrace.Header{
+				Protocol:     *protocol,
+				Density:      *density,
+				NumNodes:     nodes,
+				Seed:         *seed,
+				Source:       0,
+				ExactPhysics: *exactPhysics,
+				Baseline: dectrace.Summary{
+					EnergyDBmSum:  st.TxPowerSumDBm,
+					Coverage:      float64(st.Coverage()),
+					Forwardings:   float64(st.Forwards),
+					BroadcastTime: st.BroadcastTime(),
+					EnergyMJ:      st.TxEnergyMJ,
+					Collisions:    float64(net.Collisions),
+				},
+			},
+			Decisions: collector.Decisions,
+		}
+		copy(tr.Params[:], params.Vector())
+		if err := tr.WriteFile(*traceFile); err != nil {
+			log.Fatal(err)
+		}
+		// Deliberately no filename here: stdout stays bit-identical across
+		// runs that only differ in where the trace lands.
+		fmt.Printf("decision trace: %d records\n", len(tr.Decisions))
 	}
 }

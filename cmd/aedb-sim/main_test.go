@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"aedbmls/internal/smoketest"
@@ -8,4 +12,43 @@ import (
 
 func TestMainSmoke(t *testing.T) {
 	smoketest.Run(t, []string{"aedb-sim", "-density", "100", "-seed", "3"}, main)
+}
+
+// TestMainRunTwiceBitIdentical is the CLI determinism wall: two runs with
+// the same seed must produce byte-identical stdout (dissemination trace
+// included — this is what the stable event sort guarantees) and
+// byte-identical decision-trace files, even though the files land at
+// different paths.
+func TestMainRunTwiceBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	run := func(traceFile string) string {
+		return smoketest.Capture(t, []string{
+			"aedb-sim", "-density", "100", "-seed", "7", "-trace", traceFile,
+		}, main)
+	}
+	fileA := filepath.Join(dir, "a.aedbtr")
+	fileB := filepath.Join(dir, "b.aedbtr")
+	outA := run(fileA)
+	outB := run(fileB)
+
+	if outA != outB {
+		t.Fatalf("stdout differs between identical runs:\n--- run A ---\n%s\n--- run B ---\n%s", outA, outB)
+	}
+	if !strings.Contains(outA, "decision trace:") {
+		t.Fatalf("trace record count missing from output:\n%s", outA)
+	}
+	bytesA, err := os.ReadFile(fileA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytesB, err := os.ReadFile(fileB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytesA, bytesB) {
+		t.Fatalf("trace files differ between identical runs (%d vs %d bytes)", len(bytesA), len(bytesB))
+	}
+	if len(bytesA) == 0 {
+		t.Fatal("trace file is empty")
+	}
 }

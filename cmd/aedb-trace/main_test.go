@@ -1,0 +1,94 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aedbmls/internal/aedb"
+	"aedbmls/internal/manet"
+	"aedbmls/internal/smoketest"
+	"aedbmls/internal/trace"
+)
+
+// writeTestTrace records a small real run the same way aedb-sim -trace
+// does: DefaultScenario network, collector on OnDecision, baseline summary
+// from the run's own stats.
+func writeTestTrace(t *testing.T, path string) {
+	t.Helper()
+	const nodes, seed = 25, 11
+	params := aedb.FromVector([]float64{0.1, 0.5, -80, 1, 10})
+	cfg := manet.DefaultScenario(nodes)
+	var collector trace.Collector
+	cfg.OnDecision = collector.Record
+	net, err := manet.New(cfg, seed, aedb.New(params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := net.StartBroadcast(0, cfg.WarmupTime)
+	net.Run()
+
+	tr := &trace.Trace{
+		Header: trace.Header{
+			Protocol: "aedb", Density: 100, NumNodes: nodes, Seed: seed, Source: 0,
+			Baseline: trace.Summary{
+				EnergyDBmSum:  st.TxPowerSumDBm,
+				Coverage:      float64(st.Coverage()),
+				Forwardings:   float64(st.Forwards),
+				BroadcastTime: st.BroadcastTime(),
+				EnergyMJ:      st.TxEnergyMJ,
+				Collisions:    float64(net.Collisions),
+			},
+		},
+		Decisions: collector.Decisions,
+	}
+	copy(tr.Params[:], params.Vector())
+	if len(tr.Decisions) == 0 {
+		t.Fatal("run recorded no decisions")
+	}
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDumpSmoke(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "run.aedbtr")
+	writeTestTrace(t, file)
+	out := smoketest.Capture(t, []string{"aedb-trace", "dump", file}, main)
+	if !strings.Contains(out, "decisions:") || !strings.Contains(out, "protocol=aedb") {
+		t.Fatalf("dump output missing expected sections:\n%s", out)
+	}
+}
+
+func TestWhySmoke(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "run.aedbtr")
+	writeTestTrace(t, file)
+	// Node 0 originates, so its verdict is deterministic regardless of the
+	// network draw.
+	out := smoketest.Capture(t, []string{"aedb-trace", "why", "0", file}, main)
+	if !strings.Contains(out, "verdict: originated the broadcast") {
+		t.Fatalf("why 0 did not identify the origin:\n%s", out)
+	}
+}
+
+// TestCounterfactualReplayMatchesBaseline drives the CLI end to end: the
+// replay of the recorded genes must report bit-identity with the recorded
+// baseline, and the perturbed column must render.
+func TestCounterfactualReplayMatchesBaseline(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "run.aedbtr")
+	writeTestTrace(t, file)
+	out := smoketest.Capture(t, []string{
+		"aedb-trace", "counterfactual", "-genes", "0.07,0.61,-82.5,1.4,13", file,
+	}, main)
+	if !strings.Contains(out, "bit-identical to the recorded baseline") ||
+		strings.Contains(out, "DIVERGES") {
+		t.Fatalf("replay did not reproduce the recorded baseline:\n%s", out)
+	}
+	if !strings.Contains(out, "counterfact.") {
+		t.Fatalf("metric diff table missing:\n%s", out)
+	}
+}
+
+func TestHelpSmoke(t *testing.T) {
+	smoketest.Run(t, []string{"aedb-trace", "help"}, main)
+}

@@ -19,6 +19,7 @@ package aedb
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"aedbmls/internal/manet"
@@ -291,7 +292,29 @@ func (a *Protocol) Init(n *manet.Node) { a.node = n }
 // power (it has no reception information to adapt with).
 func (a *Protocol) Originate(msg *manet.Message) {
 	a.newState(msg.ID).done = true
-	a.node.Network().TransmitData(a.node, msg, a.node.Network().Cfg.DefaultTxPowerDBm)
+	net := a.node.Network()
+	if cb := net.Cfg.OnDecision; cb != nil {
+		cb(manet.Decision{
+			Kind: manet.DecisionOriginate, Node: int32(a.node.ID), From: -1,
+			MsgID: int32(msg.ID), Time: net.Sim.Now(),
+			RxPowerDBm: math.NaN(), PBestDBm: math.NaN(), BeaconRxDBm: math.NaN(),
+			BorderDBm:  a.P.BorderThresholdDBm,
+			TxPowerDBm: net.Cfg.DefaultTxPowerDBm,
+		})
+	}
+	net.TransmitData(a.node, msg, net.Cfg.DefaultTxPowerDBm)
+}
+
+// decision assembles the fields every reception-triggered Decision
+// shares; callers fill the kind-specific ones. Only called from inside
+// an OnDecision nil-check, so disabled tracing never pays for it.
+func (a *Protocol) decision(kind manet.DecisionKind, msgID, from int, rxPowerDBm float64, st *msgState) manet.Decision {
+	return manet.Decision{
+		Kind: kind, Node: int32(a.node.ID), From: int32(from), MsgID: int32(msgID),
+		Time:       a.node.Network().Sim.Now(),
+		RxPowerDBm: rxPowerDBm, PBestDBm: st.pbest, BorderDBm: a.P.BorderThresholdDBm,
+		BeaconRxDBm: math.NaN(),
+	}
 }
 
 // OnData implements manet.Protocol; it is the reception half of Fig. 1
@@ -303,10 +326,14 @@ func (a *Protocol) OnData(msg *manet.Message, from int, rxPowerDBm float64) {
 		st = a.newState(msg.ID)
 		st.pbest = rxPowerDBm
 		st.addHeard(from)
+		cb := a.node.Network().Cfg.OnDecision
 		if rxPowerDBm > a.P.BorderThresholdDBm {
 			// Too close to the sender: drop (lines 4-5).
 			st.done = true
 			a.Drops++
+			if cb != nil {
+				cb(a.decision(manet.DecisionDropClose, msg.ID, from, rxPowerDBm, st))
+			}
 			return
 		}
 		st.waiting = true
@@ -314,6 +341,11 @@ func (a *Protocol) OnData(msg *manet.Message, from int, rxPowerDBm float64) {
 		lo, hi := a.P.DelayInterval()
 		delay := a.node.Rng.RangeClosed(lo, hi) // rand in [delay interval] (line 8)
 		st.timer = a.node.ScheduleTimer(delay, int32(msg.ID))
+		if cb != nil {
+			d := a.decision(manet.DecisionArm, msg.ID, from, rxPowerDBm, st)
+			d.DelayLo, d.DelayHi, d.Delay = lo, hi, delay
+			cb(d)
+		}
 		return
 	}
 	if st.waiting {
@@ -322,6 +354,10 @@ func (a *Protocol) OnData(msg *manet.Message, from int, rxPowerDBm float64) {
 		st.addHeard(from)
 		if rxPowerDBm > st.pbest {
 			st.pbest = rxPowerDBm
+		}
+		cb := a.node.Network().Cfg.OnDecision
+		if cb != nil {
+			cb(a.decision(manet.DecisionDuplicate, msg.ID, from, rxPowerDBm, st))
 		}
 		if st.pbest > a.P.BorderThresholdDBm {
 			// The node is disqualified for good: pbest only ever rises, so
@@ -334,6 +370,9 @@ func (a *Protocol) OnData(msg *manet.Message, from int, rxPowerDBm float64) {
 			st.waiting = false
 			st.done = true
 			a.Drops++
+			if cb != nil {
+				cb(a.decision(manet.DecisionCancel, msg.ID, from, rxPowerDBm, st))
+			}
 		}
 	}
 }
@@ -352,13 +391,27 @@ func (a *Protocol) OnTimer(tag int32) {
 func (a *Protocol) fire(msg *manet.Message, st *msgState) {
 	st.waiting = false
 	st.done = true
+	cb := a.node.Network().Cfg.OnDecision
 	if st.pbest > a.P.BorderThresholdDBm {
 		// Disqualified by a copy heard during the wait (lines 16-17).
 		a.Drops++
+		if cb != nil {
+			cb(a.decision(manet.DecisionExpireDrop, msg.ID, -1, math.NaN(), st))
+		}
 		return
 	}
 	a.Forwards++
-	a.node.Network().TransmitData(a.node, msg, a.txPower(st))
+	power, potential, regime, beaconRx := a.txPower(st)
+	if cb != nil {
+		d := a.decision(manet.DecisionForward, msg.ID, -1, math.NaN(), st)
+		d.Potential = potential
+		d.NeighborsThreshold = a.P.NeighborsThreshold
+		d.Regime = regime
+		d.BeaconRxDBm = beaconRx
+		d.TxPowerDBm = power
+		cb(d)
+	}
+	a.node.Network().TransmitData(a.node, msg, power)
 }
 
 // txPower computes the adapted transmission power (lines 19-24): the dense
@@ -366,19 +419,22 @@ func (a *Protocol) fire(msg *manet.Message, st *msgState) {
 // threshold (the nearest of the far nodes), the sparse regime targets the
 // furthest neighbor after discarding the nodes the message was already
 // heard from. The estimate inverts the beacon link budget and adds the
-// mobility margin.
-func (a *Protocol) txPower(st *msgState) float64 {
+// mobility margin. The extra returns feed DecisionForward traces:
+// potential is the forwarding-area neighbor count, regime the
+// manet.Regime* branch taken, beaconRx the chosen link-budget beacon
+// (NaN on fallback).
+func (a *Protocol) txPower(st *msgState) (power float64, potential int32, regime uint8, beaconRx float64) {
 	cfg := &a.node.Network().Cfg
 	nbrs := a.node.Neighbors()
 
-	potential := 0
+	inArea := 0
 	bestDense := 0.0 // strongest beacon inside the forwarding area
 	haveDense := false
 	weakest := 0.0 // weakest beacon among non-discarded neighbors
 	haveSparse := false
 	for _, e := range nbrs {
 		if e.RxPowerDBm <= a.P.BorderThresholdDBm {
-			potential++
+			inArea++
 			if !haveDense || e.RxPowerDBm > bestDense {
 				bestDense, haveDense = e.RxPowerDBm, true
 			}
@@ -390,19 +446,18 @@ func (a *Protocol) txPower(st *msgState) float64 {
 		}
 	}
 
-	var beaconRx float64
 	switch {
-	case float64(potential) > a.P.NeighborsThreshold && haveDense:
-		beaconRx = bestDense
+	case float64(inArea) > a.P.NeighborsThreshold && haveDense:
+		beaconRx, regime = bestDense, manet.RegimeDense
 	case haveSparse:
-		beaconRx = weakest
+		beaconRx, regime = weakest, manet.RegimeSparse
 	default:
 		// Empty (or fully discarded) neighbor table: fall back to the
 		// default power, the safe choice under total uncertainty.
-		return cfg.DefaultTxPowerDBm
+		return cfg.DefaultTxPowerDBm, int32(inArea), manet.RegimeFallback, math.NaN()
 	}
 	need := radio.TxPowerToReach(cfg.DefaultTxPowerDBm, beaconRx, cfg.SensitivityDBm) + a.P.MarginDBm
-	return radio.ClampTxPower(need, cfg.DefaultTxPowerDBm)
+	return radio.ClampTxPower(need, cfg.DefaultTxPowerDBm), int32(inArea), regime, beaconRx
 }
 
 // Flooding is the classic blind-flooding baseline: every node forwards the

@@ -794,7 +794,8 @@ type sharedCfgKey struct {
 // callbacks or mobility factories cannot be compared (or shared) safely.
 func sharedCfgKeyOf(cfg manet.Config) (sharedCfgKey, bool) {
 	if !cfg.FastBeacons || cfg.MakeMobility != nil ||
-		cfg.OnDataTx != nil || cfg.OnDataRx != nil || cfg.OnDataLost != nil {
+		cfg.OnDataTx != nil || cfg.OnDataRx != nil || cfg.OnDataLost != nil ||
+		cfg.OnDecision != nil {
 		return sharedCfgKey{}, false
 	}
 	if cfg.PathLoss == nil || !reflect.TypeOf(cfg.PathLoss).Comparable() {
@@ -875,7 +876,7 @@ func sharedWarmup(key sharedCfgKey, cfg manet.Config, seed uint64) (*manet.Snaps
 		pcfg := cfg
 		pcfg.NumNodes = maskParentNodes
 		pcfg.MakeMobility = nil
-		pcfg.OnDataTx, pcfg.OnDataRx, pcfg.OnDataLost = nil, nil, nil
+		pcfg.OnDataTx, pcfg.OnDataRx, pcfg.OnDataLost, pcfg.OnDecision = nil, nil, nil, nil
 		slot.snap, slot.err = manet.BuildSnapshot(pcfg, seed, pcfg.WarmupTime)
 	})
 	return slot.snap, slot.err
@@ -1190,13 +1191,14 @@ func (p *Problem) Fingerprint() string {
 	cfg := p.cfg
 	put(fmt.Sprintf(
 		"area=%v speed=[%v,%v,%v] radio=[%T %+v tx=%v sens=%v capt=%v rate=%v prop=%v] "+
-			"beacon=[%v to=%v fast=%t] bytes=[%d,%d] time=[%v,%v] hooks=[%t,%t,%t,%t]",
+			"beacon=[%v to=%v fast=%t] bytes=[%d,%d] time=[%v,%v] hooks=[%t,%t,%t,%t,%t]",
 		cfg.Area, cfg.SpeedMin, cfg.SpeedMax, cfg.ChangeInterval,
 		cfg.PathLoss, cfg.PathLoss, cfg.DefaultTxPowerDBm, cfg.SensitivityDBm,
 		cfg.CaptureThresholdDB, cfg.BitRateBps, cfg.PropagationSpeed,
 		cfg.BeaconInterval, cfg.NeighborTimeout, cfg.FastBeacons,
 		cfg.BeaconBytes, cfg.DataBytes, cfg.WarmupTime, cfg.EndTime,
-		cfg.MakeMobility != nil, cfg.OnDataTx != nil, cfg.OnDataRx != nil, cfg.OnDataLost != nil))
+		cfg.MakeMobility != nil, cfg.OnDataTx != nil, cfg.OnDataRx != nil, cfg.OnDataLost != nil,
+		cfg.OnDecision != nil))
 	return hex.EncodeToString(h.Sum(nil))
 }
 

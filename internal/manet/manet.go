@@ -109,6 +109,132 @@ type Config struct {
 	OnDataTx   func(node, msgID int, powerDBm, time float64)
 	OnDataRx   func(node, from, msgID int, rxPowerDBm, time float64)
 	OnDataLost func(node, from, msgID int, time float64)
+
+	// OnDecision, when non-nil, receives one Decision per protocol
+	// forwarding-decision site (AEDB's Fig. 1 gates: first-copy
+	// admission against the border threshold, the delay draw, duplicate
+	// bookkeeping, disqualification, timer expiry, power adaptation).
+	// Protocols emit these themselves — see internal/aedb — but the hook
+	// lives here, next to the frame hooks, so it rides the same
+	// configuration plumbing and is nil-checked once at each emission
+	// site: disabled tracing costs one load-and-branch per site.
+	OnDecision func(d Decision)
+}
+
+// DecisionKind classifies one protocol forwarding decision (see
+// Decision). The kinds follow the Fig. 1 pseudocode of the AEDB paper.
+type DecisionKind uint8
+
+const (
+	// DecisionOriginate: the source transmitted the message at the
+	// default power (it has no reception information to adapt with).
+	DecisionOriginate DecisionKind = iota + 1
+	// DecisionDropClose: the first copy arrived above the border
+	// threshold — the node sits too close to the sender and drops out of
+	// forwarding immediately (Fig. 1 lines 4-5).
+	DecisionDropClose
+	// DecisionArm: the first copy arrived at or below the border
+	// threshold — the node became a forwarding candidate and armed its
+	// delay timer with Delay drawn from the closed interval
+	// [DelayLo, DelayHi] (Fig. 1 line 8).
+	DecisionArm
+	// DecisionDuplicate: another copy arrived while the candidate was
+	// waiting; PBestDBm holds the strongest received power after the
+	// update (Fig. 1 lines 10-14).
+	DecisionDuplicate
+	// DecisionCancel: a duplicate pushed the strongest received power
+	// above the border threshold — the candidate is disqualified for
+	// good and its timer cancelled early (observably identical to the
+	// Fig. 1 re-check at expiry).
+	DecisionCancel
+	// DecisionForward: the delay timer fired with the node still
+	// qualified — it forwarded at TxPowerDBm, chosen by Regime from the
+	// beacon link budget plus the mobility margin (Fig. 1 lines 18-27).
+	DecisionForward
+	// DecisionExpireDrop: the timer fired but the strongest received
+	// power exceeded the border threshold. Unreachable while early
+	// cancellation (DecisionCancel) is in place; kept for Fig. 1
+	// completeness.
+	DecisionExpireDrop
+)
+
+// String returns the compact kind label used by trace renderers.
+func (k DecisionKind) String() string {
+	switch k {
+	case DecisionOriginate:
+		return "ORIGINATE"
+	case DecisionDropClose:
+		return "DROP-CLOSE"
+	case DecisionArm:
+		return "ARM"
+	case DecisionDuplicate:
+		return "DUP"
+	case DecisionCancel:
+		return "CANCEL"
+	case DecisionForward:
+		return "FORWARD"
+	case DecisionExpireDrop:
+		return "EXPIRE-DROP"
+	default:
+		return fmt.Sprintf("KIND(%d)", uint8(k))
+	}
+}
+
+// Power-adaptation regimes of DecisionForward (AEDB Fig. 1 lines 19-24).
+const (
+	// RegimeDense: more than neighbors-threshold devices sit in the
+	// forwarding area — target the forwarding-area neighbor closest to
+	// the sender (the strongest beacon inside the area).
+	RegimeDense uint8 = iota + 1
+	// RegimeSparse: target the furthest neighbor (weakest beacon) after
+	// discarding the nodes the message was already heard from.
+	RegimeSparse
+	// RegimeFallback: empty (or fully discarded) neighbor table — the
+	// node transmits at the default power under total uncertainty.
+	RegimeFallback
+)
+
+// RegimeName renders a DecisionForward regime for trace output.
+func RegimeName(r uint8) string {
+	switch r {
+	case RegimeDense:
+		return "dense"
+	case RegimeSparse:
+		return "sparse"
+	case RegimeFallback:
+		return "fallback"
+	default:
+		return fmt.Sprintf("regime(%d)", r)
+	}
+}
+
+// Decision is one protocol forwarding decision, emitted through
+// Config.OnDecision. It is a flat value struct so emission never
+// allocates; fields that do not apply to a Kind are zero (From is -1
+// where no triggering sender exists, and RxPowerDBm/BeaconRxDBm are NaN
+// where no reception is involved).
+type Decision struct {
+	Kind   DecisionKind
+	Regime uint8 // DecisionForward only (RegimeDense/Sparse/Fallback)
+
+	Node      int32
+	From      int32 // sender of the triggering copy; -1 when n/a
+	MsgID     int32
+	Potential int32 // forwarding-area neighbor count (DecisionForward)
+
+	Time       float64
+	RxPowerDBm float64 // power of the triggering copy (NaN when n/a)
+	PBestDBm   float64 // strongest copy heard so far
+	BorderDBm  float64 // border threshold the copy was judged against
+
+	// Delay draw of DecisionArm: Delay sampled from [DelayLo, DelayHi]
+	// via rng.RangeClosed.
+	DelayLo, DelayHi, Delay float64
+
+	// Power adaptation of DecisionForward.
+	NeighborsThreshold float64 // dense-regime population threshold
+	BeaconRxDBm        float64 // chosen link-budget beacon (NaN on fallback)
+	TxPowerDBm         float64 // final clamped transmission power
 }
 
 // DefaultScenario returns the paper's ns-3 configuration (Table II) for a

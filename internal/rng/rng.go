@@ -218,10 +218,16 @@ func (r *Rand) Shuffle(n int, swap func(i, j int)) {
 func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
 
 // Pick returns a uniformly random index weighted by w (w must be
-// non-negative with a positive sum).
+// non-negative and finite with a positive sum). Non-finite weights
+// panic, matching the Range/Intn contract style: a NaN weight would
+// slip past the sum guard (NaN <= 0 is false) and silently return the
+// last index every call.
 func (r *Rand) Pick(w []float64) int {
 	var sum float64
 	for _, v := range w {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			panic("rng: Pick with non-finite weight")
+		}
 		sum += v
 	}
 	if sum <= 0 {

@@ -413,3 +413,31 @@ func TestRangeClosedPanicsOnInvertedBounds(t *testing.T) {
 	}()
 	New(1).RangeClosed(2, 1)
 }
+
+// TestPickPanicsOnNonFiniteWeight: a NaN weight slips past the
+// non-positive-sum guard (NaN <= 0 is false) and used to make Pick
+// silently return the last index on every call; non-finite weights are a
+// caller bug and must panic like the other argument contracts here.
+func TestPickPanicsOnNonFiniteWeight(t *testing.T) {
+	for name, w := range map[string][]float64{
+		"nan":     {1, math.NaN(), 1},
+		"inf":     {1, math.Inf(1), 1},
+		"neg-inf": {1, math.Inf(-1), 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Pick did not panic", name)
+				}
+			}()
+			New(1).Pick(w)
+		}()
+	}
+	// Finite weights keep working and land in range.
+	r := New(7)
+	for i := 0; i < 100; i++ {
+		if got := r.Pick([]float64{1, 2, 3}); got < 0 || got > 2 {
+			t.Fatalf("Pick out of range: %d", got)
+		}
+	}
+}

@@ -1,8 +1,10 @@
 // Package smoketest runs a command's main function inside a test: argv is
-// substituted, stdout/stderr are silenced so `go test ./...` output stays
-// readable, and panics become test failures. It exists so the cmd/ and
-// examples/ packages can exercise their real entry points instead of
-// being compile-only blind spots.
+// substituted, stdout/stderr are silenced (or captured), and panics become
+// test failures. It exists so the cmd/ and examples/ packages can exercise
+// their real entry points instead of being compile-only blind spots.
+//
+// Each call swaps flag.CommandLine for a fresh FlagSet, so mains that
+// register global flags can run any number of times per test binary.
 //
 // An os.Exit path inside main (log.Fatal) aborts the whole test binary;
 // the test run reports that as a package failure, which is exactly what a
@@ -10,25 +12,63 @@
 package smoketest
 
 import (
+	"flag"
+	"io"
 	"os"
 	"testing"
 )
 
 // Run executes mainFn with os.Args set to argv and the standard streams
-// redirected to the null device, restoring everything afterwards. Call it
-// at most once per test binary: main functions register their flags on
-// the global FlagSet, and a second registration panics.
+// redirected to the null device, restoring everything afterwards.
 func Run(t *testing.T, argv []string, mainFn func()) {
 	t.Helper()
 	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	oldArgs, oldStdout, oldStderr := os.Args, os.Stdout, os.Stderr
-	os.Args, os.Stdout, os.Stderr = argv, devnull, devnull
+	defer devnull.Close()
+	execute(t, argv, devnull, devnull, mainFn)
+}
+
+// Capture is Run but returns everything mainFn printed to stdout, for
+// bit-identity assertions on CLI output. Stderr still goes to the null
+// device.
+func Capture(t *testing.T, argv []string, mainFn func()) string {
+	t.Helper()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan []byte)
+	go func() {
+		b, _ := io.ReadAll(r)
+		r.Close()
+		done <- b
+	}()
+	func() {
+		defer w.Close()
+		execute(t, argv, w, devnull, mainFn)
+	}()
+	return string(<-done)
+}
+
+// execute runs mainFn with os.Args, the standard streams and
+// flag.CommandLine swapped out, restoring them afterwards and converting
+// panics to test failures. The fresh FlagSet is what lets one test binary
+// invoke several mains (or the same main twice) without duplicate-flag
+// panics.
+func execute(t *testing.T, argv []string, stdout, stderr *os.File, mainFn func()) {
+	t.Helper()
+	oldArgs, oldStdout, oldStderr, oldFlags := os.Args, os.Stdout, os.Stderr, flag.CommandLine
+	os.Args, os.Stdout, os.Stderr = argv, stdout, stderr
+	flag.CommandLine = flag.NewFlagSet(argv[0], flag.ExitOnError)
 	defer func() {
-		os.Args, os.Stdout, os.Stderr = oldArgs, oldStdout, oldStderr
-		devnull.Close()
+		os.Args, os.Stdout, os.Stderr, flag.CommandLine = oldArgs, oldStdout, oldStderr, oldFlags
 		if r := recover(); r != nil {
 			t.Fatalf("main panicked: %v", r)
 		}

@@ -37,10 +37,14 @@ func StdDev(xs []float64) float64 {
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) using linear interpolation
-// between order statistics (type-7, the R default).
+// between order statistics (type-7, the R default). A sample containing
+// NaN has no defined quantiles and returns NaN: sort.Float64s orders NaN
+// first, so silently sorting would report a plausible-looking but wrong
+// order statistic (historically, Wilcoxon's MedianA/MedianB did exactly
+// that for NaN-containing indicator samples).
 func Quantile(xs []float64, q float64) float64 {
 	n := len(xs)
-	if n == 0 {
+	if n == 0 || hasNaN(xs) {
 		return math.NaN()
 	}
 	s := append([]float64(nil), xs...)

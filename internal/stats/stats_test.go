@@ -188,3 +188,54 @@ func TestWilcoxonNaNObservations(t *testing.T) {
 		t.Fatal("Wilcoxon hung on NaN input")
 	}
 }
+
+// TestQuantileNaN pins the NaN contract: quantiles of a NaN-containing
+// sample are undefined and must come back NaN instead of the silently
+// wrong order statistic sort.Float64s' NaN-first ordering used to yield.
+func TestQuantileNaN(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64 // NaN means "expect NaN"
+	}{
+		{"nan-only", []float64{nan}, 0.5, nan},
+		{"nan-first", []float64{nan, 1, 2, 3}, 0.5, nan},
+		{"nan-last", []float64{1, 2, 3, nan}, 0.5, nan},
+		{"nan-min", []float64{1, nan, 3}, 0, nan},
+		{"nan-max", []float64{1, nan, 3}, 1, nan},
+		{"clean-median-odd", []float64{3, 1, 2}, 0.5, 2},
+		{"clean-median-even", []float64{4, 1, 3, 2}, 0.5, 2.5},
+		{"clean-q1", []float64{1, 2, 3, 4, 5}, 0.25, 2},
+		{"clean-min", []float64{2, 1, 3}, 0, 1},
+		{"clean-max", []float64{2, 1, 3}, 1, 3},
+		{"empty", nil, 0.5, nan},
+	}
+	for _, tc := range cases {
+		got := Quantile(tc.xs, tc.q)
+		if math.IsNaN(tc.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: Quantile = %v, want NaN", tc.name, got)
+			}
+		} else if got != tc.want {
+			t.Errorf("%s: Quantile = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if !math.IsNaN(Median([]float64{1, nan})) {
+		t.Error("Median with NaN input did not return NaN")
+	}
+}
+
+// TestWilcoxonNaNMedians: the refusal result for NaN samples must not
+// smuggle in misleading medians — before the Quantile fix, MedianA/B were
+// computed by sorting NaN below everything.
+func TestWilcoxonNaNMedians(t *testing.T) {
+	w := Wilcoxon([]float64{1, math.NaN(), 3}, []float64{2, 4})
+	if !math.IsNaN(w.MedianA) {
+		t.Errorf("MedianA = %v, want NaN", w.MedianA)
+	}
+	if w.MedianB != 3 {
+		t.Errorf("MedianB = %v, want 3 (clean sample keeps its median)", w.MedianB)
+	}
+}

@@ -1,0 +1,166 @@
+package study
+
+import (
+	"fmt"
+	"strings"
+
+	"aedbmls/internal/moo"
+)
+
+// AnomalyKind classifies one archive-health finding (see Anomaly).
+type AnomalyKind uint8
+
+const (
+	// AnomalyDominatedSurvivor flags a member of a supposedly
+	// non-dominated set that another member dominates under constrained
+	// dominance — a point the archive should have evicted. Seeing one in
+	// a live study means archive state was corrupted (bad resume, racy
+	// merge, a broken custom archive), never normal operation.
+	AnomalyDominatedSurvivor AnomalyKind = iota + 1
+	// AnomalyOffFront flags a candidate whose objective point sits behind
+	// a known-good reference front by more than epsilon on every audited
+	// axis — e.g. an "optimal" energy/coverage tradeoff that a previous
+	// study already strictly beat. It is the per-study health signal a
+	// long-running tuning service raises when a run quietly degrades.
+	AnomalyOffFront
+)
+
+// String implements fmt.Stringer.
+func (k AnomalyKind) String() string {
+	switch k {
+	case AnomalyDominatedSurvivor:
+		return "dominated-survivor"
+	case AnomalyOffFront:
+		return "off-front"
+	default:
+		return fmt.Sprintf("anomaly(%d)", uint8(k))
+	}
+}
+
+// Anomaly is one flagged member of an audited front.
+type Anomaly struct {
+	Kind AnomalyKind
+	// Index is the flagged member's position in the audited front.
+	Index int
+	// Other names the witness: the dominating member's index
+	// (DominatedSurvivor) or the reference-front point's index
+	// (OffFront).
+	Other int
+	// Gap, for OffFront, is the per-objective distance behind the
+	// witness reference point on the audited axes (all > epsilon by
+	// construction).
+	Gap []float64
+}
+
+// String renders one finding for logs.
+func (a Anomaly) String() string {
+	switch a.Kind {
+	case AnomalyDominatedSurvivor:
+		return fmt.Sprintf("solution %d is dominated by archive member %d yet survived", a.Index, a.Other)
+	case AnomalyOffFront:
+		parts := make([]string, len(a.Gap))
+		for i, g := range a.Gap {
+			parts[i] = fmt.Sprintf("%+.4g", g)
+		}
+		return fmt.Sprintf("solution %d falls off the known front (behind reference point %d by [%s])",
+			a.Index, a.Other, strings.Join(parts, " "))
+	default:
+		return fmt.Sprintf("solution %d: %v", a.Index, a.Kind)
+	}
+}
+
+// AuditFront checks a supposedly non-dominated set for dominated
+// survivors: every member dominated (under moo.Dominates, i.e. Deb's
+// constrained rule) by another member is flagged once, with the first
+// dominating witness. A healthy archive front yields nil.
+func AuditFront(front []*moo.Solution) []Anomaly {
+	var out []Anomaly
+	for i, s := range front {
+		for j, o := range front {
+			if i != j && moo.Dominates(o, s) {
+				out = append(out, Anomaly{Kind: AnomalyDominatedSurvivor, Index: i, Other: j})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// FrontGate audits candidate fronts against a known-good reference front
+// on a fixed subset of objective axes. For the AEDB problem the natural
+// gate is NewFrontGate(known, eps, 0, 1): the (energy, -coverage) plane
+// of Fig. 5/6, flagging candidates whose energy/coverage point falls off
+// the front a trusted run established.
+type FrontGate struct {
+	ref  [][]float64
+	axes []int
+	eps  float64
+}
+
+// NewFrontGate builds a gate from a trusted front. Epsilon is the slack
+// (in objective units) a candidate may trail a reference point on every
+// audited axis before it is flagged; it absorbs committee noise between
+// runs. axes selects the objective indices to audit (defaults to all
+// objectives of the first reference solution when empty).
+func NewFrontGate(known []*moo.Solution, epsilon float64, axes ...int) *FrontGate {
+	g := &FrontGate{eps: epsilon, axes: axes}
+	for _, s := range known {
+		g.ref = append(g.ref, append([]float64(nil), s.F...))
+	}
+	if len(g.axes) == 0 && len(g.ref) > 0 {
+		for i := range g.ref[0] {
+			g.axes = append(g.axes, i)
+		}
+	}
+	return g
+}
+
+// Audit runs both checks on a candidate front: dominated survivors
+// (AuditFront) plus the off-front test — a member is flagged when some
+// reference point beats it by more than epsilon on every audited axis
+// (objectives are minimized, so larger is worse).
+func (g *FrontGate) Audit(front []*moo.Solution) []Anomaly {
+	out := AuditFront(front)
+	for i, s := range front {
+		for j, r := range g.ref {
+			if g.behind(s.F, r) {
+				gap := make([]float64, 0, len(g.axes))
+				for _, ax := range g.axes {
+					gap = append(gap, s.F[ax]-r[ax])
+				}
+				out = append(out, Anomaly{Kind: AnomalyOffFront, Index: i, Other: j, Gap: gap})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// behind reports whether f trails ref by more than epsilon on every
+// audited axis (NaN comparisons fail, so NaN objectives never flag).
+func (g *FrontGate) behind(f, ref []float64) bool {
+	if len(g.axes) == 0 {
+		return false
+	}
+	for _, ax := range g.axes {
+		if ax < 0 || ax >= len(f) || ax >= len(ref) || !(f[ax]-ref[ax] > g.eps) {
+			return false
+		}
+	}
+	return true
+}
+
+// AuditCheckpoint decodes a checkpoint's archive and audits it for
+// dominated survivors — the load-time health check a tuning service runs
+// before resuming a study from disk. Checkpoints without an archive
+// audit clean.
+func AuditCheckpoint(cp *Checkpoint) ([]Anomaly, error) {
+	if cp.Archive == nil {
+		return nil, nil
+	}
+	front, err := DecodeSolutions(cp.Archive.Solutions, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("study: audit cannot decode archive: %w", err)
+	}
+	return AuditFront(front), nil
+}

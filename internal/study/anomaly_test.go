@@ -1,0 +1,131 @@
+package study
+
+import (
+	"strings"
+	"testing"
+
+	"aedbmls/internal/archive"
+	"aedbmls/internal/moo"
+)
+
+func sol(f ...float64) *moo.Solution {
+	return &moo.Solution{X: []float64{0}, F: f}
+}
+
+// TestAuditFrontCleanFront: a genuinely non-dominated set audits clean.
+func TestAuditFrontCleanFront(t *testing.T) {
+	front := []*moo.Solution{sol(1, 5), sol(2, 4), sol(3, 3)}
+	if got := AuditFront(front); len(got) != 0 {
+		t.Fatalf("clean front flagged: %v", got)
+	}
+}
+
+// TestAuditFrontFlagsInjectedDominatedSurvivor is the acceptance test of
+// the gate: deliberately inject a dominated point into a front and the
+// audit must flag exactly it, with the dominating witness.
+func TestAuditFrontFlagsInjectedDominatedSurvivor(t *testing.T) {
+	front := []*moo.Solution{sol(1, 5), sol(2, 4), sol(3, 3)}
+	front = append(front, sol(2.5, 4.5)) // dominated by (2, 4)
+	got := AuditFront(front)
+	if len(got) != 1 {
+		t.Fatalf("want exactly the injected survivor flagged, got %v", got)
+	}
+	a := got[0]
+	if a.Kind != AnomalyDominatedSurvivor || a.Index != 3 || a.Other != 1 {
+		t.Fatalf("wrong finding: %+v", a)
+	}
+	if !strings.Contains(a.String(), "dominated") {
+		t.Fatalf("unhelpful rendering: %q", a.String())
+	}
+}
+
+// TestAuditFrontConstrainedDominance: an infeasible point that survived
+// next to a feasible one is a dominated survivor under Deb's rule even
+// when its objectives look better.
+func TestAuditFrontConstrainedDominance(t *testing.T) {
+	feasible := sol(5, 5)
+	infeasible := sol(1, 1)
+	infeasible.Violation = 0.5
+	got := AuditFront([]*moo.Solution{feasible, infeasible})
+	if len(got) != 1 || got[0].Index != 1 || got[0].Other != 0 {
+		t.Fatalf("constrained dominance not applied: %v", got)
+	}
+}
+
+// TestAuditFrontOnRealArchive: a stock AGA archive never yields
+// dominated survivors by construction; corrupting its contents does.
+func TestAuditFrontOnRealArchive(t *testing.T) {
+	ar := archive.NewAGA(16, 4)
+	for _, s := range []*moo.Solution{
+		sol(1, 9), sol(3, 7), sol(5, 5), sol(7, 3), sol(9, 1), sol(4, 6), sol(2, 8),
+	} {
+		ar.Add(s)
+	}
+	front := ar.Contents()
+	if got := AuditFront(front); len(got) != 0 {
+		t.Fatalf("AGA front flagged: %v", got)
+	}
+	corrupted := append(append([]*moo.Solution(nil), front...), sol(6, 6))
+	if got := AuditFront(corrupted); len(got) != 1 {
+		t.Fatalf("corrupted AGA front not flagged exactly once: %v", got)
+	}
+}
+
+// TestFrontGateOffFront: the energy/coverage projection check flags
+// candidates strictly behind the known front and tolerates points within
+// epsilon.
+func TestFrontGateOffFront(t *testing.T) {
+	known := []*moo.Solution{sol(1, 5), sol(3, 3)}
+	gate := NewFrontGate(known, 0.5, 0, 1)
+
+	// Clearly interior: behind (3,3) by 1 on both axes.
+	got := gate.Audit([]*moo.Solution{sol(4, 4)})
+	if len(got) != 1 || got[0].Kind != AnomalyOffFront || got[0].Other != 1 {
+		t.Fatalf("interior point not flagged: %v", got)
+	}
+	if len(got[0].Gap) != 2 || got[0].Gap[0] != 1 || got[0].Gap[1] != 1 {
+		t.Fatalf("wrong gap: %v", got[0].Gap)
+	}
+
+	// Within epsilon of the front: fine.
+	if got := gate.Audit([]*moo.Solution{sol(1.2, 5.2)}); len(got) != 0 {
+		t.Fatalf("near-front point flagged: %v", got)
+	}
+	// Behind on one axis only: a legitimate tradeoff, not an anomaly.
+	if got := gate.Audit([]*moo.Solution{sol(0.5, 9)}); len(got) != 0 {
+		t.Fatalf("tradeoff point flagged: %v", got)
+	}
+}
+
+// TestFrontGateDefaultsToAllAxes: omitting axes audits the full
+// objective vector.
+func TestFrontGateDefaultsToAllAxes(t *testing.T) {
+	gate := NewFrontGate([]*moo.Solution{sol(1, 1, 1)}, 0)
+	if got := gate.Audit([]*moo.Solution{sol(2, 2, 2)}); len(got) != 1 {
+		t.Fatalf("full-axis audit missed: %v", got)
+	}
+	if got := gate.Audit([]*moo.Solution{sol(2, 2, 0.5)}); len(got) != 0 {
+		t.Fatalf("full-axis audit overfired: %v", got)
+	}
+}
+
+// TestAuditCheckpoint: the load-time health check decodes the archive
+// and finds an injected survivor; archive-free checkpoints audit clean.
+func TestAuditCheckpoint(t *testing.T) {
+	if got, err := AuditCheckpoint(&Checkpoint{}); err != nil || len(got) != 0 {
+		t.Fatalf("archive-free checkpoint: %v, %v", got, err)
+	}
+	cp := &Checkpoint{Archive: &ArchiveState{
+		Kind: "aga",
+		Solutions: EncodeSolutions([]*moo.Solution{
+			sol(1, 5), sol(2, 4), sol(2.5, 4.5),
+		}),
+	}}
+	got, err := AuditCheckpoint(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Index != 2 || got[0].Other != 1 {
+		t.Fatalf("checkpoint audit wrong: %v", got)
+	}
+}

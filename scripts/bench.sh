@@ -28,6 +28,14 @@
 # around 3.4k allocs/op with protocol pooling and the arena paths live;
 # the ceiling at ~6x that still sits far below the ~95k a regression to
 # per-node-per-candidate protocol allocation would produce.
+#
+# Finally, when a committed BENCH_PR*.json baseline exists, the gate
+# compares the fast d300 allocs/op against the newest baseline with 25%
+# slack. This is the zero-cost-when-disabled check for the decision
+# tracing hooks: tracing is compiled in but disabled in the benchmark
+# (OnDecision nil), and a nil-check per decision site must stay
+# allocation-neutral — any drift shows up here as an absolute,
+# machine-independent diff against the recorded trajectory.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -53,6 +61,22 @@ if [ "${1:-}" = "--smoke" ]; then
   if [ "$ALLOCS" -gt "$MAX_ALLOCS" ]; then
     echo "smoke: fast d300 batch allocates ${ALLOCS}/op, above the ${MAX_ALLOCS} ceiling (allocation regression)" >&2
     exit 1
+  fi
+  BASELINE="$(ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1 || true)"
+  if [ -n "${BASELINE:-}" ]; then
+    BASE_ALLOCS="$(awk -F'"allocs_per_op": ' \
+      '/"benchmark": "BenchmarkEvaluateBatch",/ && /"density": 300/ {split($2, a, "}"); print a[1]; exit}' \
+      "$BASELINE")"
+    if [ -n "${BASE_ALLOCS:-}" ]; then
+      ALLOC_LIMIT=$((BASE_ALLOCS + BASE_ALLOCS / 4))
+      echo "smoke: fast d300 batch ${ALLOCS} allocs/op vs baseline ${BASE_ALLOCS} in ${BASELINE} (fail above ${ALLOC_LIMIT})"
+      if [ "$ALLOCS" -gt "$ALLOC_LIMIT" ]; then
+        echo "smoke: allocs/op grew >25% over ${BASELINE} — disabled tracing must stay allocation-neutral (trace hooks are nil-check cheap)" >&2
+        exit 1
+      fi
+    else
+      echo "smoke: no d300 batch entry in ${BASELINE}; skipping baseline allocs comparison"
+    fi
   fi
   exit 0
 fi
