@@ -64,6 +64,20 @@ type Config struct {
 	// extend previously recorded reference-physics results bit-for-bit
 	// set this and pay the per-candidate square root back.
 	ExactPhysics bool
+	// Fidelity enables the multi-fidelity evaluation ladder
+	// (eval.WithFidelity): batched neighborhood evaluations are first
+	// screened on a cheap committee prefix (Fidelity.Committee scenarios,
+	// optionally truncated at Fidelity.Horizon of the broadcast window)
+	// and only candidates within PromoteEps of the current reference
+	// front are re-evaluated at full fidelity. Screened-out candidates
+	// never enter the archive, so reported fronts remain exact
+	// full-committee metrics. The zero value keeps every evaluation at
+	// full fidelity (bit-identical to previous releases).
+	Fidelity eval.Fidelity
+	// PromoteEps overrides the ladder's promotion slack
+	// (eval.WithPromoteEpsilon); 0 keeps eval.DefaultPromoteEps. Only
+	// meaningful when Fidelity is enabled.
+	PromoteEps float64
 	// Deterministic selects the bit-reproducible round-robin execution
 	// instead of the threaded one.
 	Deterministic bool
@@ -140,6 +154,12 @@ func Tune(cfg Config) (*Result, error) {
 	}
 	if cfg.ExactPhysics {
 		opts = append(opts, eval.WithExactPhysics(true))
+	}
+	if cfg.Fidelity.Enabled() {
+		opts = append(opts, eval.WithFidelity(cfg.Fidelity))
+		if cfg.PromoteEps > 0 {
+			opts = append(opts, eval.WithPromoteEpsilon(cfg.PromoteEps))
+		}
 	}
 	problem := eval.NewProblem(cfg.Density, cfg.Seed, opts...)
 

@@ -30,6 +30,7 @@ import (
 
 	"aedbmls/internal/aedb"
 	"aedbmls/internal/cliutil"
+	"aedbmls/internal/eval"
 	"aedbmls/internal/experiments"
 	"aedbmls/internal/faultinject"
 	"aedbmls/internal/moo"
@@ -51,6 +52,8 @@ func main() {
 	exactPhysics := flag.Bool("exact-physics", false, "reference per-call path-loss physics instead of the fused d2-space kernel (paper-exact energy bits, slower)")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for per-(algorithm,density,run) checkpoints; re-running resumes (empty disables)")
 	checkpointEvery := flag.Int64("checkpoint-every", 1000, "evaluations between checkpoint saves")
+	fidelity := flag.String("fidelity", "off", "multi-fidelity screening rung as COMMITTEE[:HORIZON], e.g. 3 or 3:0.5 (off = full fidelity everywhere)")
+	promoteEps := flag.Float64("promote-eps", 0, "promotion slack of the fidelity ladder relative to the front's objective ranges (0 = default)")
 	flag.Parse()
 	if _, err := faultinject.ConfigureFromEnv(); err != nil {
 		log.Fatal(err)
@@ -67,6 +70,12 @@ func main() {
 	sc.ReferencePath = *referencePath
 	sc.UnsharedTapes = *unsharedTapes
 	sc.ExactPhysics = *exactPhysics
+	if fid, ferr := eval.ParseFidelity(*fidelity); ferr != nil {
+		log.Fatal(ferr)
+	} else {
+		sc.Fidelity = fid
+		sc.PromoteEps = *promoteEps
+	}
 	if *checkpointDir != "" {
 		if err := os.MkdirAll(*checkpointDir, 0o755); err != nil {
 			log.Fatal(err)

@@ -50,6 +50,8 @@ func main() {
 	referencePath := flag.Bool("reference-path", false, "evaluate through the full-tail reference engine (bit-identical metrics, slower)")
 	unsharedTapes := flag.Bool("unshared-tapes", false, "record beacon tapes per problem instead of sharing the process-wide cache (bit-identical metrics)")
 	exactPhysics := flag.Bool("exact-physics", false, "reference per-call path-loss physics instead of the fused d2-space kernel (paper-exact energy bits, slower)")
+	fidelity := flag.String("fidelity", "off", "multi-fidelity screening rung as COMMITTEE[:HORIZON], e.g. 3 or 3:0.5 (off = full fidelity everywhere)")
+	promoteEps := flag.Float64("promote-eps", 0, "promotion slack of the fidelity ladder relative to the front's objective ranges (0 = default)")
 	ckpt := cliutil.AddCheckpointFlags()
 	flag.Parse()
 	if _, err := faultinject.ConfigureFromEnv(); err != nil {
@@ -61,10 +63,22 @@ func main() {
 	}
 	stop := cliutil.StopOnSignals()
 
-	problem := eval.NewProblem(*density, *seed,
+	fid, err := eval.ParseFidelity(*fidelity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := []eval.Option{
 		eval.WithCommittee(*committee), eval.WithScenarioWorkers(*scenarioWorkers),
 		eval.WithReferencePath(*referencePath), eval.WithSharedTapes(!*unsharedTapes),
-		eval.WithExactPhysics(*exactPhysics))
+		eval.WithExactPhysics(*exactPhysics),
+	}
+	if fid.Enabled() {
+		opts = append(opts, eval.WithFidelity(fid))
+		if *promoteEps > 0 {
+			opts = append(opts, eval.WithPromoteEpsilon(*promoteEps))
+		}
+	}
+	problem := eval.NewProblem(*density, *seed, opts...)
 	cfg := core.DefaultConfig()
 	cfg.Populations = *pops
 	cfg.Workers = *workers

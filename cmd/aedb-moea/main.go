@@ -42,6 +42,8 @@ func main() {
 	pop := flag.Int("pop", 20, "population size (paper: 100)")
 	evals := flag.Int("evals", 400, "evaluation budget (paper: 10000)")
 	committee := flag.Int("committee", 10, "frozen networks per evaluation (paper: 10)")
+	fidelity := flag.String("fidelity", "off", "multi-fidelity screening rung as COMMITTEE[:HORIZON], e.g. 3 or 3:0.5 (off = full fidelity everywhere)")
+	promoteEps := flag.Float64("promote-eps", 0, "promotion slack of the fidelity ladder relative to the front's objective ranges (0 = default)")
 	ckpt := cliutil.AddCheckpointFlags()
 	flag.Parse()
 	if _, err := faultinject.ConfigureFromEnv(); err != nil {
@@ -53,7 +55,18 @@ func main() {
 	}
 	stop := cliutil.StopOnSignals()
 
-	problem := eval.NewProblem(*density, *seed, eval.WithCommittee(*committee))
+	fid, err := eval.ParseFidelity(*fidelity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := []eval.Option{eval.WithCommittee(*committee)}
+	if fid.Enabled() {
+		opts = append(opts, eval.WithFidelity(fid))
+		if *promoteEps > 0 {
+			opts = append(opts, eval.WithPromoteEpsilon(*promoteEps))
+		}
+	}
+	problem := eval.NewProblem(*density, *seed, opts...)
 	var (
 		front       []*moo.Solution
 		spent       int64

@@ -1,0 +1,178 @@
+// Admissibility contract across every optimizer: batched evaluation
+// results marked Stopped (abandoned under a stop signal) or Screened
+// (fidelity-ladder triage estimates) must be DISCARDED at the evaluation
+// boundary — they may never become an incumbent, a population member or
+// an archive entry. The fake problem below poisons marked results with
+// utopian objectives, so any optimizer that forgets the check would
+// proudly report the poison on its front.
+package aedbmls_test
+
+import (
+	"sync"
+	"testing"
+
+	"aedbmls/internal/archive"
+	"aedbmls/internal/cellde"
+	"aedbmls/internal/core"
+	"aedbmls/internal/moo"
+	"aedbmls/internal/nsga2"
+	"aedbmls/internal/spea2"
+)
+
+// poisonF is the utopian objective value carried by inadmissible fakes:
+// it dominates every genuine solution, so leakage is loud.
+const poisonF = -1e9
+
+// markerProblem is a moo.BatchProblem whose batches mark a deterministic
+// third of their results Stopped and another third Screened, both with
+// poisoned objectives. Serial evaluations are always genuine (matching
+// eval.Problem, whose serial path is never screened or abandoned here).
+type markerProblem struct {
+	mu       sync.Mutex
+	batched  int // results returned through EvaluateBatch
+	stopped  int // ... marked Stopped
+	screened int // ... marked Screened
+}
+
+func (m *markerProblem) Name() string       { return "marker" }
+func (m *markerProblem) Dim() int           { return 5 }
+func (m *markerProblem) NumObjectives() int { return 3 }
+func (m *markerProblem) Bounds() (lo, hi []float64) {
+	return []float64{0, 0, 0, 0, 0}, []float64{1, 1, 1, 1, 1}
+}
+
+func (m *markerProblem) Evaluate(x []float64) (f []float64, violation float64, aux any) {
+	return []float64{x[0], x[1], x[2]}, 0, nil
+}
+
+func (m *markerProblem) EvaluateBatch(xs [][]float64) []moo.BatchResult {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]moo.BatchResult, len(xs))
+	for i, x := range xs {
+		f, viol, _ := m.Evaluate(x)
+		r := moo.BatchResult{F: f, Violation: viol}
+		switch (m.batched + i) % 3 {
+		case 0:
+			r.Stopped = true
+			r.F = []float64{poisonF, poisonF, poisonF}
+			m.stopped++
+		case 1:
+			r.Screened = true
+			r.F = []float64{poisonF, poisonF, poisonF}
+			m.screened++
+		}
+		out[i] = r
+	}
+	m.batched += len(xs)
+	return out
+}
+
+// assertClean fails if any reported solution is inadmissible or carries
+// the poison objectives.
+func assertClean(t *testing.T, alg string, sols []*moo.Solution) {
+	t.Helper()
+	for _, s := range sols {
+		if s == nil {
+			t.Fatalf("%s: nil solution reported", alg)
+		}
+		if !s.Admissible() {
+			t.Fatalf("%s: inadmissible solution reported (Stopped=%v Screened=%v)", alg, s.Stopped, s.Screened)
+		}
+		if s.F[0] == poisonF {
+			t.Fatalf("%s: poisoned objectives leaked into the results: %v", alg, s.F)
+		}
+	}
+}
+
+// TestOptimizersDiscardInadmissibleResults runs all four optimizers on
+// the marking problem and checks no Stopped or Screened batch result
+// survives into any reported front or population.
+func TestOptimizersDiscardInadmissibleResults(t *testing.T) {
+	t.Run("mls", func(t *testing.T) {
+		m := &markerProblem{}
+		cfg := core.DefaultConfig()
+		cfg.Populations = 2
+		cfg.Workers = 2
+		cfg.EvalsPerWorker = 20
+		cfg.ResetPeriod = 6
+		cfg.NeighborhoodSize = 3 // route through ImproveBatch
+		cfg.Seed = 1
+		res, err := core.Optimize(m, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertClean(t, "mls", res.Front)
+		requireMarked(t, m)
+	})
+	t.Run("mls-sequential", func(t *testing.T) {
+		m := &markerProblem{}
+		cfg := core.DefaultConfig()
+		cfg.Populations = 2
+		cfg.Workers = 2
+		cfg.EvalsPerWorker = 20
+		cfg.ResetPeriod = 6
+		cfg.NeighborhoodSize = 3
+		cfg.Seed = 1
+		res, err := core.OptimizeSequential(m, cfg, archive.NewAGA(40, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertClean(t, "mls-sequential", res.Front)
+		requireMarked(t, m)
+	})
+	t.Run("nsga2", func(t *testing.T) {
+		m := &markerProblem{}
+		cfg := nsga2.TestConfig()
+		cfg.PopSize = 12
+		cfg.Evaluations = 120
+		res, err := nsga2.Optimize(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertClean(t, "nsga2 front", res.Front)
+		assertClean(t, "nsga2 population", res.Population)
+		requireMarked(t, m)
+	})
+	t.Run("spea2", func(t *testing.T) {
+		m := &markerProblem{}
+		cfg := spea2.DefaultConfig()
+		cfg.PopSize = 12
+		cfg.ArchiveSize = 12
+		cfg.Evaluations = 120
+		cfg.Seed = 1
+		res, err := spea2.Optimize(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertClean(t, "spea2 front", res.Front)
+		requireMarked(t, m)
+	})
+	t.Run("cellde", func(t *testing.T) {
+		m := &markerProblem{}
+		cfg := cellde.DefaultConfig()
+		cfg.PopSize = 9
+		cfg.Evaluations = 90
+		cfg.Feedback = 2
+		cfg.Seed = 1
+		res, err := cellde.Optimize(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertClean(t, "cellde front", res.Front)
+		requireMarked(t, m)
+	})
+}
+
+// requireMarked guards the test's own premise: the optimizer must have
+// gone through EvaluateBatch and received marked results, otherwise the
+// discard contract was never exercised.
+func requireMarked(t *testing.T, m *markerProblem) {
+	t.Helper()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.batched == 0 || m.stopped == 0 || m.screened == 0 {
+		t.Fatalf("premise not exercised: batched=%d stopped=%d screened=%d",
+			m.batched, m.stopped, m.screened)
+	}
+}

@@ -190,7 +190,16 @@ func Optimize(p moo.Problem, cfg Config) (*Result, error) {
 		grid = moo.EvaluateAll(p, xs)
 		evals += int64(n)
 		for i := range grid {
-			if grid[i].Feasible() {
+			// Grid cells are long-lived parents, so a ladder-screened cell
+			// is re-evaluated serially at full fidelity — the grid (and the
+			// checkpoints that encode it) never holds a screening estimate.
+			if grid[i].Screened {
+				grid[i] = moo.NewSolution(p, xs[i])
+				evals++
+			}
+			// Stop-abandoned cells stay in the grid (the run exits at the
+			// first boundary) but must never seed the archive.
+			if grid[i].Admissible() && grid[i].Feasible() {
 				arch.Add(grid[i])
 			}
 		}

@@ -349,9 +349,12 @@ func (w *worker) run() {
 			crit := w.criteria[w.rng.Intn(len(w.criteria))]
 			xs[j] = operators.PerturbBLX(s.X, t.X, crit.Params, w.cfg.Alpha, w.lo, w.hi, w.rng)
 		}
-		// Lines 9-12: accept and archive feasible moves.
+		// Lines 9-12: accept and archive feasible moves. Inadmissible
+		// results — stop-abandoned cells, ladder-screened triage estimates
+		// — are discarded here, before any incumbent, population slot or
+		// archive can see them.
 		for _, cand := range w.evaluateAll(xs) {
-			if cand.Feasible() {
+			if cand.Admissible() && cand.Feasible() {
 				w.archive.AddAsync(cand)
 				s = cand
 				w.pop.set(w.slot, s)
@@ -429,8 +432,10 @@ func ImproveBatch(p moo.Problem, s *moo.Solution, pop []*moo.Solution, iters, ba
 			xs[j] = operators.PerturbBLX(s.X, t.X, crit.Params, alpha, lo, hi, r)
 		}
 		spent += k
+		// Inadmissible results (stop-abandoned, ladder-screened) never
+		// replace the incumbent.
 		for _, cand := range moo.EvaluateAll(p, xs) {
-			if cand.Feasible() && !moo.Dominates(s, cand) {
+			if cand.Admissible() && cand.Feasible() && !moo.Dominates(s, cand) {
 				s = cand
 			}
 		}

@@ -200,8 +200,10 @@ func OptimizeSequential(p moo.Problem, cfg Config, arch archive.Interface) (*Res
 					crit := criteria[w.rng.Intn(len(criteria))]
 					xs[j] = operators.PerturbBLX(w.s.X, t.X, crit.Params, cfg.Alpha, lo, hi, w.rng)
 				}
+				// Same acceptance as worker.run: inadmissible results are
+				// discarded before the incumbent or archive can see them.
 				for _, cand := range evaluateAll(w, xs) {
-					if cand.Feasible() {
+					if cand.Admissible() && cand.Feasible() {
 						arch.Add(cand)
 						w.s = cand
 						res.Accepted++

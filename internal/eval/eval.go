@@ -177,6 +177,11 @@ type Problem struct {
 	retryBackoff    time.Duration
 	evalTimeout     time.Duration
 	stop            <-chan struct{}
+	fidelity        Fidelity
+	promoteEps      float64
+	promoteEpsSet   bool
+	ladder          ladderState
+	screenFront     ladderState
 	snaps           []warmSlot
 	tapes           []tapeSlot
 	arenas          sync.Pool
@@ -192,6 +197,10 @@ type health struct {
 	timeouts        atomic.Int64
 	failures        atomic.Int64
 	serialFallbacks atomic.Int64
+	screenEvals     atomic.Int64
+	screened        atomic.Int64
+	promoted        atomic.Int64
+	fullEvals       atomic.Int64
 	lastErr         atomic.Value // error
 }
 
@@ -214,6 +223,21 @@ type Health struct {
 	// SerialFallbacks counts scenario cells that failed inside a parallel
 	// wave and were re-attempted serially.
 	SerialFallbacks int64
+	// ScreenEvals counts candidates evaluated on the ladder's cheap
+	// screening rung (committee prefix, truncated horizon).
+	ScreenEvals int64
+	// Screened counts candidates the promotion gate triaged out: their
+	// screening estimate was epsilon-dominated by the reference front, so
+	// they were never evaluated at full fidelity.
+	Screened int64
+	// Promoted counts screened candidates that passed the gate and were
+	// re-evaluated at full fidelity.
+	Promoted int64
+	// FullEvals counts full-fidelity committee evaluations across every
+	// path (serial, ladder-off batches, ladder promotions). The ladder's
+	// throughput win is this counter dropping relative to a ladder-off
+	// run of the same budget.
+	FullEvals int64
 }
 
 // Health returns the current supervision counters.
@@ -225,6 +249,10 @@ func (p *Problem) Health() Health {
 		Timeouts:        p.health.timeouts.Load(),
 		Failures:        p.health.failures.Load(),
 		SerialFallbacks: p.health.serialFallbacks.Load(),
+		ScreenEvals:     p.health.screenEvals.Load(),
+		Screened:        p.health.screened.Load(),
+		Promoted:        p.health.promoted.Load(),
+		FullEvals:       p.health.fullEvals.Load(),
 	}
 }
 
@@ -489,7 +517,9 @@ func (p *Problem) Evaluations() int64 { return p.evals.Load() }
 // ResetEvaluations zeroes the evaluation counter.
 func (p *Problem) ResetEvaluations() { p.evals.Store(0) }
 
-// Evaluate implements moo.Problem.
+// Evaluate implements moo.Problem. It is always full fidelity — the
+// ladder (WithFidelity) only screens batched evaluations — and its
+// outcome feeds the ladder's reference front when the ladder is enabled.
 func (p *Problem) Evaluate(x []float64) (f []float64, violation float64, aux any) {
 	m := p.Simulate(aedb.FromVector(x))
 	f = []float64{m.EnergyDBmSum, -m.Coverage, m.Forwardings}
@@ -497,6 +527,7 @@ func (p *Problem) Evaluate(x []float64) (f []float64, violation float64, aux any
 	if violation < 0 {
 		violation = 0
 	}
+	p.observeFull(f, violation)
 	return f, violation, m
 }
 
@@ -549,12 +580,13 @@ func reduceCommittee(terms []Metrics) Metrics {
 // cannot all be evaluated — even after supervised retries and the serial
 // fallback — degrades to FailedMetrics instead of taking down the run.
 func (p *Problem) runCommittee(factory func(*manet.Node) manet.Protocol) Metrics {
+	p.health.fullEvals.Add(1)
 	terms := make([]Metrics, len(p.scenarios))
 	errs := make([]error, len(p.scenarios))
-	p.forEachScenario(p.scenarioWorkers, func(i int) {
-		terms[i], errs[i] = p.supervisedScenario(factory, i)
+	p.forEachScenario(len(p.scenarios), p.scenarioWorkers, func(i int) {
+		terms[i], errs[i] = p.supervisedScenario(factory, i, 0)
 	})
-	if err := p.settleCommittee(factory, terms, errs, p.scenarioWorkers > 1); err != nil {
+	if err := p.settleCommittee(factory, terms, errs, p.scenarioWorkers > 1, 0); err != nil {
 		return FailedMetrics()
 	}
 	return reduceCommittee(terms)
@@ -567,14 +599,14 @@ func (p *Problem) runCommittee(factory func(*manet.Node) manet.Protocol) Metrics
 // first surviving error is recorded in the health block and returned.
 // A stop-induced abandonment is returned without touching the failure
 // counters — the caller is discarding the result anyway.
-func (p *Problem) settleCommittee(factory func(*manet.Node) manet.Protocol, terms []Metrics, errs []error, wasParallel bool) error {
+func (p *Problem) settleCommittee(factory func(*manet.Node) manet.Protocol, terms []Metrics, errs []error, wasParallel bool, bound float64) error {
 	for i, err := range errs {
 		if err == nil || errors.Is(err, ErrStopped) {
 			continue
 		}
 		if wasParallel {
 			p.health.serialFallbacks.Add(1)
-			terms[i], errs[i] = p.supervisedScenario(factory, i)
+			terms[i], errs[i] = p.supervisedScenario(factory, i, bound)
 		}
 	}
 	for _, err := range errs {
@@ -592,11 +624,39 @@ func (p *Problem) settleCommittee(factory func(*manet.Node) manet.Protocol, term
 	return nil
 }
 
+// maxRetryBackoff caps the exponential retry backoff: retries exist for
+// transient environmental failures, and half a second is already far
+// beyond any resource-pressure recovery window a simulation worker
+// needs. Without the cap the shift grows without bound — WithMaxRetries
+// (20) would sleep ~44 minutes on its last attempt, and shifts >= 63
+// overflow time.Duration into a negative (no-op) sleep.
+const maxRetryBackoff = 500 * time.Millisecond
+
+// retryDelay returns the clamped exponential backoff before retry
+// attempt (1-based): base << (attempt-1), saturating at maxRetryBackoff.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	if base <= 0 || attempt < 1 {
+		return 0
+	}
+	if base >= maxRetryBackoff {
+		return maxRetryBackoff
+	}
+	shift := uint(attempt - 1)
+	// base < maxRetryBackoff here, so the quotient below is >= 1 and the
+	// comparison saturates before base << shift could ever overflow.
+	if shift >= 63 || base > maxRetryBackoff>>shift {
+		return maxRetryBackoff
+	}
+	return base << shift
+}
+
 // supervisedScenario runs one (candidate, scenario) cell under the
 // supervisor: panics recover into errors, each failed attempt is retried
-// up to maxRetries times with exponential backoff, and attempts are
-// bounded by the per-evaluation timeout when one is configured.
-func (p *Problem) supervisedScenario(factory func(*manet.Node) manet.Protocol, i int) (Metrics, error) {
+// up to maxRetries times with clamped exponential backoff, and attempts
+// are bounded by the per-evaluation timeout when one is configured.
+// A positive bound truncates the simulation at that absolute time (the
+// ladder's screening rung); 0 runs the full horizon.
+func (p *Problem) supervisedScenario(factory func(*manet.Node) manet.Protocol, i int, bound float64) (Metrics, error) {
 	var lastErr error
 	for attempt := 0; attempt <= p.maxRetries; attempt++ {
 		if stopRequested(p.stop) {
@@ -604,9 +664,9 @@ func (p *Problem) supervisedScenario(factory func(*manet.Node) manet.Protocol, i
 		}
 		if attempt > 0 {
 			p.health.retries.Add(1)
-			time.Sleep(p.retryBackoff << (attempt - 1))
+			time.Sleep(retryDelay(p.retryBackoff, attempt))
 		}
-		m, err := p.attemptScenario(factory, i)
+		m, err := p.attemptScenario(factory, i, bound)
 		if err == nil {
 			return m, nil
 		}
@@ -622,9 +682,9 @@ func (p *Problem) supervisedScenario(factory func(*manet.Node) manet.Protocol, i
 // attemptScenario is one bounded attempt of a cell. With no timeout it
 // runs inline; with one it runs in a goroutine that is abandoned (along
 // with its arena) when the deadline passes.
-func (p *Problem) attemptScenario(factory func(*manet.Node) manet.Protocol, i int) (Metrics, error) {
+func (p *Problem) attemptScenario(factory func(*manet.Node) manet.Protocol, i int, bound float64) (Metrics, error) {
 	if p.evalTimeout <= 0 {
-		return p.recoverScenario(factory, i)
+		return p.recoverScenario(factory, i, bound)
 	}
 	type outcome struct {
 		m   Metrics
@@ -632,7 +692,7 @@ func (p *Problem) attemptScenario(factory func(*manet.Node) manet.Protocol, i in
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		m, err := p.recoverScenario(factory, i)
+		m, err := p.recoverScenario(factory, i, bound)
 		ch <- outcome{m, err}
 	}()
 	timer := time.NewTimer(p.evalTimeout)
@@ -650,7 +710,7 @@ func (p *Problem) attemptScenario(factory func(*manet.Node) manet.Protocol, i in
 // acquired inside the attempt and only returned to the pool on full
 // success: a panicked, failed or timed-out attempt abandons its arena,
 // so a partially mutated buffer set can never serve a later simulation.
-func (p *Problem) recoverScenario(factory func(*manet.Node) manet.Protocol, i int) (m Metrics, err error) {
+func (p *Problem) recoverScenario(factory func(*manet.Node) manet.Protocol, i int, bound float64) (m Metrics, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			p.health.panics.Add(1)
@@ -673,7 +733,7 @@ func (p *Problem) recoverScenario(factory func(*manet.Node) manet.Protocol, i in
 	if snap != nil && !p.referencePath {
 		arena = p.getArena()
 	}
-	m, err = p.simulateScenario(factory, i, snap, tape, arena)
+	m, err = p.simulateScenario(factory, i, snap, tape, arena, bound)
 	if err == nil {
 		p.putArena(arena)
 	}
@@ -690,10 +750,9 @@ func stopRequested(stop <-chan struct{}) bool {
 	}
 }
 
-// forEachScenario runs fn(i) for every committee scenario index, across
-// up to workers goroutines (inline when workers <= 1).
-func (p *Problem) forEachScenario(workers int, fn func(i int)) {
-	n := len(p.scenarios)
+// forEachScenario runs fn(i) for the first n committee scenario indices,
+// across up to workers goroutines (inline when workers <= 1).
+func (p *Problem) forEachScenario(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
@@ -988,9 +1047,19 @@ func (p *Problem) WarmStartError() error {
 // construction failure is returned as an error (degrading that candidate)
 // rather than panicking the process. The faultinject sites let the
 // robustness tests stand in for organic failures at both boundaries.
-func (p *Problem) simulateScenario(factory func(*manet.Node) manet.Protocol, i int, snap *manet.Snapshot, tape *manet.BeaconTape, arena *manet.Arena) (Metrics, error) {
+//
+// A positive bound truncates the run at that absolute simulation time
+// instead of cfg.EndTime — the ladder's screening rung. Truncation only
+// changes when the event loop stops; snapshots, tapes and arenas are the
+// full-horizon ones (a tape replay simply stops consuming the tape), so
+// screening shares every cache with full-fidelity evaluation.
+func (p *Problem) simulateScenario(factory func(*manet.Node) manet.Protocol, i int, snap *manet.Snapshot, tape *manet.BeaconTape, arena *manet.Arena, bound float64) (Metrics, error) {
 	if err := faultinject.Do(faultinject.SiteEvalScenario); err != nil {
 		return Metrics{}, err
+	}
+	end := p.cfg.EndTime
+	if bound > 0 && bound < end {
+		end = bound
 	}
 	sc := p.scenarios[i]
 	var net *manet.Network
@@ -998,13 +1067,13 @@ func (p *Problem) simulateScenario(factory func(*manet.Node) manet.Protocol, i i
 	switch {
 	case tape != nil:
 		net, st = snap.InstantiateReplayInto(arena, factory, sc.source, p.cfg.WarmupTime, tape)
-		net.RunToQuiescence()
+		runToQuiescenceUntil(net, end)
 	case snap != nil && p.referencePath:
 		net, st = snap.Instantiate(factory, sc.source, p.cfg.WarmupTime)
-		net.Run()
+		net.Sim.RunUntil(end)
 	case snap != nil:
 		net, st = snap.InstantiateInto(arena, factory, sc.source, p.cfg.WarmupTime)
-		net.RunToQuiescence()
+		runToQuiescenceUntil(net, end)
 	default:
 		if err := faultinject.Do(faultinject.SiteEvalBuild); err != nil {
 			return Metrics{}, err
@@ -1016,12 +1085,26 @@ func (p *Problem) simulateScenario(factory func(*manet.Node) manet.Protocol, i i
 		}
 		st = net.StartBroadcast(sc.source, p.cfg.WarmupTime)
 		if p.referencePath {
-			net.Run()
+			net.Sim.RunUntil(end)
 		} else {
-			net.RunToQuiescence()
+			runToQuiescenceUntil(net, end)
 		}
 	}
 	return scenarioTerm(st, net), nil
+}
+
+// runToQuiescenceUntil is manet.Network.RunToQuiescence with an explicit
+// end time: it executes the event loop until end, stopping early at
+// broadcast quiescence. With end == cfg.EndTime it is exactly
+// RunToQuiescence (and Sim.RunUntil(end) is exactly Run), which is what
+// keeps full-fidelity paths bit-identical whether or not the ladder is
+// compiled into the call chain.
+func runToQuiescenceUntil(net *manet.Network, end float64) {
+	for !net.Quiescent() {
+		if !net.Sim.StepUntil(end) {
+			return
+		}
+	}
 }
 
 // getArena checks an instantiation arena out of the Problem's pool (nil
@@ -1061,6 +1144,13 @@ func (p *Problem) SimulateProtocol(factory func(*manet.Node) manet.Protocol) Met
 // residency) is paid once per wave instead of once per candidate. Waves
 // fan out across WithBatchWorkers goroutines; the committee average is
 // reduced in committee order regardless of schedule.
+//
+// With the multi-fidelity ladder enabled (WithFidelity), the batch is
+// first screened on the cheap rung and only promotion-gate survivors
+// reach the full-fidelity waves; triaged candidates come back marked
+// Screened with their screening estimate (see fidelity.go). Promoted
+// results are bit-identical to what a ladder-free batch — or serial
+// Evaluate — returns for the same vector.
 func (p *Problem) EvaluateBatch(xs [][]float64) []moo.BatchResult {
 	n := len(xs)
 	if n == 0 {
@@ -1071,35 +1161,66 @@ func (p *Problem) EvaluateBatch(xs [][]float64) []moo.BatchResult {
 	for j, x := range xs {
 		factories[j] = aedb.New(aedb.FromVector(x))
 	}
-	s := len(p.scenarios)
-	terms := make([]Metrics, n*s) // terms[j*s+i]: candidate j, scenario i
-	errs := make([]error, n*s)
-	workers := p.batchWorkerCount()
-	p.forEachScenario(workers, func(i int) { p.batchWave(factories, i, terms, errs) })
-
-	// Settle failures candidate by candidate: failed cells from parallel
-	// waves get one serial re-attempt; a candidate with any cell still
-	// failing degrades to the penalty outcome, leaving the rest of the
-	// batch untouched.
+	if p.ladderActive() {
+		return p.ladderBatch(factories)
+	}
+	p.health.fullEvals.Add(int64(n))
+	ms, stopped := p.runWaves(factories, len(p.scenarios), 0)
 	out := make([]moo.BatchResult, n)
 	for j := range out {
-		var m Metrics
-		if err := p.settleCommittee(factories[j], terms[j*s:(j+1)*s], errs[j*s:(j+1)*s], workers > 1); err != nil {
-			m = FailedMetrics()
-		} else {
-			m = reduceCommittee(terms[j*s : (j+1)*s])
-		}
-		viol := m.BroadcastTime - BroadcastTimeLimit
-		if viol < 0 {
-			viol = 0
-		}
-		out[j] = moo.BatchResult{
-			F:         []float64{m.EnergyDBmSum, -m.Coverage, m.Forwardings},
-			Violation: viol,
-			Aux:       m,
-		}
+		out[j] = batchResultOf(ms[j], stopped[j], false)
 	}
 	return out
+}
+
+// runWaves is the wave engine shared by every batch rung: it streams all
+// candidates through the first nsc committee scenarios (bounded at the
+// given absolute simulation time; 0 = full horizon), settles per-cell
+// failures candidate by candidate — failed cells from parallel waves get
+// one serial re-attempt, a candidate with any cell still failing degrades
+// to the penalty outcome — and reduces each candidate's committee average.
+// The returned stopped markers flag candidates abandoned because the
+// Problem's stop signal fired; their metrics are the penalty outcome but
+// carry no information, and they are never counted as failures.
+func (p *Problem) runWaves(factories []func(*manet.Node) manet.Protocol, nsc int, bound float64) ([]Metrics, []bool) {
+	n := len(factories)
+	terms := make([]Metrics, n*nsc) // terms[j*nsc+i]: candidate j, scenario i
+	errs := make([]error, n*nsc)
+	workers := p.batchWorkerCount()
+	p.forEachScenario(nsc, workers, func(i int) { p.batchWave(factories, i, nsc, bound, terms, errs) })
+
+	ms := make([]Metrics, n)
+	stopped := make([]bool, n)
+	for j := 0; j < n; j++ {
+		err := p.settleCommittee(factories[j], terms[j*nsc:(j+1)*nsc], errs[j*nsc:(j+1)*nsc], workers > 1, bound)
+		switch {
+		case errors.Is(err, ErrStopped):
+			ms[j] = FailedMetrics()
+			stopped[j] = true
+		case err != nil:
+			ms[j] = FailedMetrics()
+		default:
+			ms[j] = reduceCommittee(terms[j*nsc : (j+1)*nsc])
+		}
+	}
+	return ms, stopped
+}
+
+// batchResultOf wraps a committee outcome as a moo.BatchResult — the one
+// definition of the Metrics -> (objectives, violation) mapping on the
+// batch path, shared by every rung.
+func batchResultOf(m Metrics, stopped, screened bool) moo.BatchResult {
+	viol := m.BroadcastTime - BroadcastTimeLimit
+	if viol < 0 {
+		viol = 0
+	}
+	return moo.BatchResult{
+		F:         []float64{m.EnergyDBmSum, -m.Coverage, m.Forwardings},
+		Violation: viol,
+		Aux:       m,
+		Stopped:   stopped,
+		Screened:  screened,
+	}
 }
 
 // batchWorkerCount resolves the wave-level parallelism of one
@@ -1124,14 +1245,13 @@ func (p *Problem) batchWorkerCount() int {
 // runs under the supervisor, so one candidate's failure is recorded in
 // errs and the wave moves on (a failed cell's arena is abandoned, never
 // re-pooled — see recoverScenario).
-func (p *Problem) batchWave(factories []func(*manet.Node) manet.Protocol, i int, terms []Metrics, errs []error) {
-	s := len(p.scenarios)
+func (p *Problem) batchWave(factories []func(*manet.Node) manet.Protocol, i, nsc int, bound float64, terms []Metrics, errs []error) {
 	for j, factory := range factories {
 		if stopRequested(p.stop) {
-			errs[j*s+i] = ErrStopped
+			errs[j*nsc+i] = ErrStopped
 			continue
 		}
-		terms[j*s+i], errs[j*s+i] = p.supervisedScenario(factory, i)
+		terms[j*nsc+i], errs[j*nsc+i] = p.supervisedScenario(factory, i, bound)
 	}
 }
 
@@ -1172,6 +1292,13 @@ func (p *Problem) tapeFor(i int, snap *manet.Snapshot) *manet.BeaconTape {
 // so a resumed study may legally change its parallelism. Configs carrying
 // per-scenario callbacks cannot be fingerprinted stably; their hook
 // presence is folded in and consistency across resume is on the caller.
+//
+// The multi-fidelity ladder is folded in ONLY when it actually engages:
+// ladder-off fingerprints are byte-identical to previous releases (old
+// checkpoints keep resuming), while a ladder-enabled study refuses a
+// mid-study change of rung or promotion epsilon — screening alters which
+// candidates are evaluated at full fidelity, so it is part of the study's
+// identity, not a performance knob.
 func (p *Problem) Fingerprint() string {
 	h := sha256.New()
 	var buf [8]byte
@@ -1188,6 +1315,10 @@ func (p *Problem) Fingerprint() string {
 	}
 	lo, hi := p.domain.Bounds()
 	put(fmt.Sprintf("lo=%v hi=%v", lo, hi))
+	if p.ladderActive() {
+		put(fmt.Sprintf("fidelity=[committee=%d horizon=%g eps=%g]",
+			p.screenCommittee(), p.screenHorizon(), p.PromoteEpsilon()))
+	}
 	cfg := p.cfg
 	put(fmt.Sprintf(
 		"area=%v speed=[%v,%v,%v] radio=[%T %+v tx=%v sens=%v capt=%v rate=%v prop=%v] "+

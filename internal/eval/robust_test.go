@@ -177,8 +177,11 @@ func TestSerialFallbackRecoversParallelFailures(t *testing.T) {
 }
 
 // TestStopAbandonsEvaluation: a closed stop channel makes evaluations
-// return immediately with the penalty outcome, without counting failures
-// (the caller discards interrupted results by contract).
+// return immediately with the penalty outcome, without counting failures.
+// Batched results additionally carry the explicit Stopped marker so
+// callers discard them instead of aliasing the penalty point into
+// populations or archives (the bug this pins down: stop-abandoned cells
+// used to be indistinguishable from genuine evaluations).
 func TestStopAbandonsEvaluation(t *testing.T) {
 	faultinject.Reset()
 	stop := make(chan struct{})
@@ -188,15 +191,44 @@ func TestStopAbandonsEvaluation(t *testing.T) {
 	if f[0] != failedPenalty {
 		t.Fatalf("stopped evaluation returned %v", f)
 	}
-	out := p.EvaluateBatch([][]float64{robustX})
-	if out[0].F[0] != failedPenalty {
-		t.Fatalf("stopped batch returned %v", out[0].F)
+	out := p.EvaluateBatch([][]float64{robustX, robustX})
+	for i, r := range out {
+		if r.F[0] != failedPenalty {
+			t.Fatalf("stopped batch cell %d returned %v", i, r.F)
+		}
+		if !r.Stopped {
+			t.Fatalf("stopped batch cell %d not marked Stopped: %+v", i, r)
+		}
+		if r.Screened {
+			t.Fatalf("stopped batch cell %d marked Screened: %+v", i, r)
+		}
 	}
 	if h := p.Health(); h.Failures != 0 {
 		t.Fatalf("stop counted as failure: %+v", h)
 	}
 	if err := p.Err(); err != nil {
 		t.Fatalf("stop left sticky error: %v", err)
+	}
+}
+
+// TestStopAbandonsLadderScreening: the stop contract holds on the
+// screening rung too — a ladder-enabled batch under a closed stop channel
+// marks every cell Stopped (not Screened) and touches no failure or
+// promotion counters.
+func TestStopAbandonsLadderScreening(t *testing.T) {
+	faultinject.Reset()
+	stop := make(chan struct{})
+	close(stop)
+	p := robustProblem(WithStop(stop), WithFidelity(Fidelity{Committee: 1}))
+	out := p.EvaluateBatch([][]float64{robustX, robustX})
+	for i, r := range out {
+		if !r.Stopped || r.Screened {
+			t.Fatalf("ladder stop cell %d: %+v", i, r)
+		}
+	}
+	h := p.Health()
+	if h.Failures != 0 || h.Screened != 0 || h.Promoted != 0 {
+		t.Fatalf("ladder stop touched counters: %+v", h)
 	}
 }
 
@@ -214,14 +246,38 @@ func TestFingerprintIdentity(t *testing.T) {
 	if perf != base {
 		t.Fatal("perf knobs moved the fingerprint")
 	}
+	// A disabled fidelity ladder must leave the fingerprint byte-identical
+	// (old checkpoints keep resuming); an enabled one must move it, and so
+	// must changing its rung or its promotion slack mid-study.
+	if got := NewProblem(100, 7, WithCommittee(3), WithFidelity(Fidelity{})).Fingerprint(); got != base {
+		t.Fatal("disabled fidelity ladder moved the fingerprint")
+	}
+	ladder := NewProblem(100, 7, WithCommittee(3), WithFidelity(Fidelity{Committee: 2})).Fingerprint()
+	if ladder == base {
+		t.Fatal("enabled fidelity ladder did not move the fingerprint")
+	}
 	for name, p := range map[string]*Problem{
 		"density":   NewProblem(200, 7, WithCommittee(3)),
 		"seed":      NewProblem(100, 8, WithCommittee(3)),
 		"committee": NewProblem(100, 7, WithCommittee(4)),
 		"physics":   NewProblem(100, 7, WithCommittee(3), WithExactPhysics(true)),
+		"rung": NewProblem(100, 7, WithCommittee(3),
+			WithFidelity(Fidelity{Committee: 2, Horizon: 0.5})),
+		"eps": NewProblem(100, 7, WithCommittee(3),
+			WithFidelity(Fidelity{Committee: 2}), WithPromoteEpsilon(0.1)),
 	} {
 		if p.Fingerprint() == base {
 			t.Errorf("%s change did not move the fingerprint", name)
+		}
+	}
+	for name, p := range map[string]*Problem{
+		"rung": NewProblem(100, 7, WithCommittee(3),
+			WithFidelity(Fidelity{Committee: 2, Horizon: 0.5})),
+		"eps": NewProblem(100, 7, WithCommittee(3),
+			WithFidelity(Fidelity{Committee: 2}), WithPromoteEpsilon(0.1)),
+	} {
+		if p.Fingerprint() == ladder {
+			t.Errorf("ladder %s change did not move the fingerprint", name)
 		}
 	}
 }

@@ -65,26 +65,77 @@ func TestGoldenMetricsOptOutMatrix(t *testing.T) {
 		}
 		entries = thin
 	}
-	for _, tapes := range []bool{true, false} {
-		for _, warmups := range []bool{true, false} {
-			for _, arena := range []bool{true, false} {
-				for _, ref := range []bool{false, true} {
-					for _, exact := range []bool{false, true} {
-						combo := fmt.Sprintf("tapes=%v/warmups=%v/arena=%v/ref=%v/exact=%v", tapes, warmups, arena, ref, exact)
-						opts := []Option{
-							WithSharedTapes(tapes),
-							WithSharedWarmups(warmups),
-							WithBufferReuse(arena),
-							WithReferencePath(ref),
-							WithExactPhysics(exact),
-						}
-						for _, e := range entries {
-							name := fmt.Sprintf("%s d%d/seed%d", combo, e.Density, e.Seed)
-							assertGoldenMetrics(t, name, e.want(exact), simulateCase(e.goldenCase, opts...))
+	for _, ladder := range []bool{false, true} {
+		for _, tapes := range []bool{true, false} {
+			for _, warmups := range []bool{true, false} {
+				for _, arena := range []bool{true, false} {
+					for _, ref := range []bool{false, true} {
+						for _, exact := range []bool{false, true} {
+							combo := fmt.Sprintf("ladder=%v/tapes=%v/warmups=%v/arena=%v/ref=%v/exact=%v", ladder, tapes, warmups, arena, ref, exact)
+							opts := []Option{
+								WithSharedTapes(tapes),
+								WithSharedWarmups(warmups),
+								WithBufferReuse(arena),
+								WithReferencePath(ref),
+								WithExactPhysics(exact),
+							}
+							if ladder {
+								// The ladder is a batch-triage policy: the
+								// serial Simulate/Evaluate path must stay
+								// bit-identical with the harshest rung on.
+								opts = append(opts,
+									WithFidelity(Fidelity{Committee: 1, Horizon: 0.5}),
+									WithPromoteEpsilon(0.01))
+							}
+							for _, e := range entries {
+								name := fmt.Sprintf("%s d%d/seed%d", combo, e.Density, e.Seed)
+								assertGoldenMetrics(t, name, e.want(exact), simulateCase(e.goldenCase, opts...))
+							}
 						}
 					}
 				}
 			}
+		}
+	}
+}
+
+// TestGoldenMetricsLadderPromotion pins the other half of the ladder's
+// exactness contract: a candidate PROMOTED through the screening rung
+// (here guaranteed — a fresh Problem's reference front is empty, so the
+// gate promotes everything) must come back with full-fidelity metrics
+// bit-identical to the committed golden corpus and to a direct serial
+// Evaluate on a ladder-free Problem.
+func TestGoldenMetricsLadderPromotion(t *testing.T) {
+	entries := loadGoldenEntries(t)
+	if testing.Short() && len(entries) > 3 {
+		entries = entries[:3]
+	}
+	for _, e := range entries {
+		name := fmt.Sprintf("d%d/seed%d", e.Density, e.Seed)
+		p := NewProblem(e.Density, e.Seed, WithCommittee(goldenCommittee),
+			WithFidelity(Fidelity{Committee: 1, Horizon: 0.5}))
+		out := p.EvaluateBatch([][]float64{e.Params})
+		r := out[0]
+		if r.Screened || r.Stopped {
+			t.Fatalf("%s: empty-front candidate not promoted: %+v", name, r)
+		}
+		m, ok := r.Aux.(Metrics)
+		if !ok {
+			t.Fatalf("%s: promoted result carries no Metrics", name)
+		}
+		assertGoldenMetrics(t, "promoted "+name, e.want(false), m)
+		f, viol, _ := NewProblem(e.Density, e.Seed, WithCommittee(goldenCommittee)).Evaluate(e.Params)
+		for k := range f {
+			if f[k] != r.F[k] {
+				t.Fatalf("%s: promoted F[%d]=%x, serial Evaluate %x", name, k, r.F[k], f[k])
+			}
+		}
+		if viol != r.Violation {
+			t.Fatalf("%s: promoted violation %x, serial %x", name, r.Violation, viol)
+		}
+		h := p.Health()
+		if h.ScreenEvals != 1 || h.Promoted != 1 || h.FullEvals != 1 || h.Screened != 0 {
+			t.Fatalf("%s: ladder counters %+v", name, h)
 		}
 	}
 }

@@ -157,7 +157,7 @@ func (r *ParallelismAblationResult) Render() string {
 	for _, row := range r.Rows {
 		rows = append(rows, []string{
 			fmt.Sprintf("%d", row.Populations), fmt.Sprintf("%d", row.Workers),
-			row.Duration.Round(time.Millisecond).String(),
+			FormatDuration(row.Duration),
 			fmt.Sprintf("%d", row.Evals), fmt.Sprintf("%.1f", row.Throughput),
 		})
 	}

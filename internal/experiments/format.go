@@ -1,0 +1,21 @@
+package experiments
+
+import "time"
+
+// FormatDuration renders a wall-clock duration with adaptive precision:
+// durations at or above 100ms round to the millisecond as before, shorter
+// ones keep enough sub-millisecond digits to stay meaningful (a 740µs
+// optimizer run prints "740µs", not "1ms" — and never "0s"). The rounding
+// unit is the largest power-of-ten divisor of a millisecond that keeps at
+// least three significant digits.
+func FormatDuration(d time.Duration) string {
+	ad := d
+	if ad < 0 {
+		ad = -ad
+	}
+	unit := time.Millisecond
+	for unit > time.Nanosecond && ad < 100*unit {
+		unit /= 10
+	}
+	return d.Round(unit).String()
+}

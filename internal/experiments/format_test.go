@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFormatDuration pins the adaptive-precision rendering: millisecond
+// rounding for long durations, progressively finer units below 100ms, and
+// never "0s" for a non-zero duration (the bug this replaced: sub-millisecond
+// ablation rows all printed "0s").
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "0s"},
+		{3 * time.Second, "3s"},
+		{1234 * time.Millisecond, "1.234s"},
+		{100 * time.Millisecond, "100ms"},
+		// Below 100ms the unit drops to 100µs: three significant digits.
+		{99*time.Millisecond + 950*time.Microsecond, "100ms"},
+		{42*time.Millisecond + 360*time.Microsecond, "42.4ms"},
+		// The old code printed "0s" for everything below 500µs.
+		{740 * time.Microsecond, "740µs"},
+		{499 * time.Microsecond, "499µs"},
+		{12*time.Microsecond + 340*time.Nanosecond, "12.3µs"},
+		{987 * time.Nanosecond, "987ns"},
+		{1 * time.Nanosecond, "1ns"},
+		{-740 * time.Microsecond, "-740µs"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.d); got != c.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

@@ -60,6 +60,16 @@ type Scale struct {
 	// instead of the fused d2-space kernel: the choice for runs that must
 	// extend previously recorded reference-physics artifacts bit-for-bit.
 	ExactPhysics bool
+	// Fidelity enables the multi-fidelity evaluation ladder on every
+	// problem of this scale (eval.WithFidelity): batched evaluations are
+	// screened on a cheap committee prefix and only candidates within
+	// PromoteEps of the reference front are re-evaluated at full
+	// fidelity. Archives and reported fronts only ever hold full-fidelity
+	// metrics. The zero value keeps every evaluation at full fidelity.
+	Fidelity eval.Fidelity
+	// PromoteEps overrides the ladder's promotion slack
+	// (eval.WithPromoteEpsilon); 0 keeps eval.DefaultPromoteEps.
+	PromoteEps float64
 	// Seed is the base seed; run r of algorithm a uses
 	// Seed + 1000*r + a, and the network committee uses Seed directly.
 	Seed uint64
@@ -171,6 +181,12 @@ func (s Scale) EvalOptions() []eval.Option {
 	}
 	if s.ExactPhysics {
 		opts = append(opts, eval.WithExactPhysics(true))
+	}
+	if s.Fidelity.Enabled() {
+		opts = append(opts, eval.WithFidelity(s.Fidelity))
+		if s.PromoteEps > 0 {
+			opts = append(opts, eval.WithPromoteEpsilon(s.PromoteEps))
+		}
 	}
 	return opts
 }

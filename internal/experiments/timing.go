@@ -111,7 +111,7 @@ func (t *TimingResult) Render() string {
 	for _, alg := range Algorithms {
 		rows = append(rows, []string{
 			alg,
-			t.MeanDuration[alg].Round(time.Millisecond).String(),
+			FormatDuration(t.MeanDuration[alg]),
 			fmt.Sprintf("%.0f", t.MeanEvals[alg]),
 			fmt.Sprintf("%.1f", t.Throughput[alg]),
 		})

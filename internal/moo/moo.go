@@ -24,14 +24,30 @@ type Solution struct {
 	// Aux carries problem-specific evaluation detail (e.g. the raw AEDB
 	// metrics) for reporting; algorithms must not interpret it.
 	Aux any
+	// Stopped marks an evaluation abandoned mid-batch because the
+	// problem's stop signal fired; F and Violation carry no information
+	// about the candidate. See BatchResult.Stopped.
+	Stopped bool
+	// Screened marks a low-fidelity triage estimate from a multi-fidelity
+	// problem; F and Violation are cheap approximations, not a full
+	// evaluation. See BatchResult.Screened.
+	Screened bool
 }
 
 // Feasible reports whether the solution satisfies all constraints.
 func (s *Solution) Feasible() bool { return s.Violation <= 0 }
 
+// Admissible reports whether the solution is a completed full-fidelity
+// evaluation — neither abandoned by a stop signal nor a low-fidelity
+// screening estimate. Only admissible solutions may be accepted as
+// incumbents, selected into populations, or archived; every optimizer in
+// this repository discards inadmissible results at its evaluation
+// boundary.
+func (s *Solution) Admissible() bool { return !s.Stopped && !s.Screened }
+
 // Clone returns a deep copy of the solution (Aux is shared).
 func (s *Solution) Clone() *Solution {
-	c := &Solution{Violation: s.Violation, Aux: s.Aux}
+	c := &Solution{Violation: s.Violation, Aux: s.Aux, Stopped: s.Stopped, Screened: s.Screened}
 	c.X = append([]float64(nil), s.X...)
 	c.F = append([]float64(nil), s.F...)
 	return c
@@ -70,6 +86,19 @@ type BatchResult struct {
 	F         []float64
 	Violation float64
 	Aux       any
+	// Stopped marks a result abandoned mid-batch because the problem's
+	// stop signal fired. F and Violation still hold the problem's penalty
+	// outcome (belt and braces for callers that rank before checking), but
+	// they carry no information about the candidate: a stopped result is
+	// NOT a failure — the problem does not count it as one — and callers
+	// must discard it rather than archive the penalty point.
+	Stopped bool
+	// Screened marks a low-fidelity triage outcome from a multi-fidelity
+	// problem (e.g. eval's promotion ladder): F, Violation and Aux hold the
+	// cheap screening estimate of a candidate the problem declined to
+	// evaluate at full fidelity. Selection must not treat it as a real
+	// evaluation and archives must never admit it.
+	Screened bool
 }
 
 // BatchProblem is an optional extension implemented by problems that can
@@ -97,7 +126,10 @@ func EvaluateAll(p Problem, xs [][]float64) []*Solution {
 	out := make([]*Solution, len(xs))
 	if bp, ok := p.(BatchProblem); ok && len(xs) > 1 {
 		for i, r := range bp.EvaluateBatch(xs) {
-			out[i] = &Solution{X: append([]float64(nil), xs[i]...), F: r.F, Violation: r.Violation, Aux: r.Aux}
+			out[i] = &Solution{
+				X: append([]float64(nil), xs[i]...), F: r.F, Violation: r.Violation, Aux: r.Aux,
+				Stopped: r.Stopped, Screened: r.Screened,
+			}
 		}
 		return out
 	}
@@ -105,6 +137,26 @@ func EvaluateAll(p Problem, xs [][]float64) []*Solution {
 		out[i] = NewSolution(p, x)
 	}
 	return out
+}
+
+// Admissible returns the subset of sols that are completed full-fidelity
+// evaluations (see Solution.Admissible), preserving order. The input is
+// not modified; when nothing was filtered the input slice is returned
+// as-is.
+func Admissible(sols []*Solution) []*Solution {
+	for i, s := range sols {
+		if !s.Admissible() {
+			out := make([]*Solution, i, len(sols))
+			copy(out, sols[:i])
+			for _, t := range sols[i+1:] {
+				if t.Admissible() {
+					out = append(out, t)
+				}
+			}
+			return out
+		}
+	}
+	return sols
 }
 
 // ParetoDominates reports strict Pareto dominance of objective vector a

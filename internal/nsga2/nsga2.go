@@ -156,6 +156,18 @@ func Optimize(p moo.Problem, cfg Config) (*Result, error) {
 			xs[i] = operators.RandomVector(lo, hi, r)
 		}
 		pop = evaluateAll(xs)
+		// Initial members are long-lived (the population must hold PopSize
+		// real solutions), so ladder-screened cells are re-evaluated
+		// serially at full fidelity instead of being dropped. Stop-abandoned
+		// cells ARE dropped — the stop signal has fired, the next boundary
+		// exits, and the reported front must not contain penalty points.
+		for i, s := range pop {
+			if s.Screened {
+				pop[i] = moo.NewSolution(p, xs[i])
+				evals++
+			}
+		}
+		pop = moo.Admissible(pop)
 	}
 	cd := crowdingByFront(pop)
 
@@ -192,7 +204,11 @@ func Optimize(p moo.Problem, cfg Config) (*Result, error) {
 				xs = append(xs, c2)
 			}
 		}
-		pop = environmentalSelection(append(pop, evaluateAll(xs)...), cfg.PopSize)
+		// Inadmissible offspring — stop-abandoned cells, ladder-screened
+		// triage estimates — are dropped before the merge, so selection
+		// (and therefore the final front) only ever sees completed
+		// full-fidelity evaluations.
+		pop = environmentalSelection(append(pop, moo.Admissible(evaluateAll(xs))...), cfg.PopSize)
 		cd = crowdingByFront(pop)
 	}
 	if !done && !interrupted {

@@ -164,6 +164,17 @@ func Optimize(p moo.Problem, cfg Config) (*Result, error) {
 			xs[i] = operators.RandomVector(lo, hi, r)
 		}
 		pop = evaluateAll(xs)
+		// Initial members are long-lived; ladder-screened cells are
+		// re-evaluated serially at full fidelity instead of being dropped,
+		// and stop-abandoned cells are dropped outright (see the
+		// equivalent note in nsga2.Optimize).
+		for i, s := range pop {
+			if s.Screened {
+				pop[i] = moo.NewSolution(p, xs[i])
+				evals++
+			}
+		}
+		pop = moo.Admissible(pop)
 	}
 
 	// encode snapshots the generation boundary. Non-final boundaries sit
@@ -212,7 +223,10 @@ func Optimize(p moo.Problem, cfg Config) (*Result, error) {
 				xs = append(xs, c2)
 			}
 		}
-		pop = evaluateAll(xs)
+		// Inadmissible offspring are dropped before they can join the
+		// union (and through it the archive); the union never sees a
+		// stop-abandoned penalty or a ladder screening estimate.
+		pop = moo.Admissible(evaluateAll(xs))
 	}
 	if !done && !interrupted {
 		if err := loop.Finish(encode); err != nil {

@@ -78,6 +78,23 @@ if [ "${1:-}" = "--smoke" ]; then
       echo "smoke: no d300 batch entry in ${BASELINE}; skipping baseline allocs comparison"
     fi
   fi
+  # Fidelity-ladder arm: a ladder-enabled d300 MLS run must spend
+  # measurably fewer full-committee evaluations than the full-fidelity
+  # baseline. TestFidelityLadderSmoke runs both arms paired in one
+  # process, logs the ratio, and fails below 1.3x (the aggregate >= 2x
+  # bound lives in TestFidelityLadderRegretGate).
+  LADDER="$(go test -run '^TestFidelityLadderSmoke$' -v . 2>&1)" || {
+    echo "$LADDER"
+    echo "smoke: fidelity-ladder arm failed" >&2
+    exit 1
+  }
+  echo "$LADDER" | grep "fidelity-ladder-ratio:" || true
+  RATIO="$(echo "$LADDER" | sed -n 's/.*fidelity-ladder-ratio: \([0-9.]*\).*/\1/p' | head -1)"
+  if [ -z "${RATIO:-}" ]; then
+    echo "smoke: fidelity-ladder ratio not reported" >&2
+    exit 1
+  fi
+  echo "smoke: fidelity ladder saves ${RATIO}x full-committee evaluations on d300 MLS (fail below 1.3)"
   exit 0
 fi
 
