@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"aedbmls/internal/smoketest"
+)
+
+// TestMainSmoke boots the real server main, then walks the endpoint
+// surface the way a curl session would: health, create, status poll to
+// completion, front stream, list, and shutdown via signal.
+func TestMainSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real study over HTTP; skipped in -short")
+	}
+	dir := t.TempDir()
+	portFile := filepath.Join(dir, "port")
+	stop := smoketest.Serve(t, []string{"aedb-tuned",
+		"-addr", "127.0.0.1:0",
+		"-checkpoint-dir", dir,
+		"-workers", "2",
+		"-port-file", portFile,
+	}, main)
+	defer stop()
+
+	var base string
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b, err := os.ReadFile(portFile); err == nil && len(b) > 0 {
+			base = "http://" + strings.TrimSpace(string(b))
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never published its address")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if rerr != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+
+	spec := `{"name":"smoke","algorithm":"mls","density":100,"seed":5,"trials":2,"committee":2,
+	 "populations":1,"pop_workers":2,"evals_per_worker":6,"reset_period":4}`
+	resp, err := http.Post(base+"/studies", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		_, body := get("/studies/smoke")
+		var st map[string]any
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatalf("status body %q: %v", body, err)
+		}
+		if st["status"] == "done" {
+			break
+		}
+		if st["status"] == "failed" {
+			t.Fatalf("study failed: %v", st["error"])
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("study never finished: %v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	code, front := get("/studies/smoke/front")
+	if code != http.StatusOK {
+		t.Fatalf("front: %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(front), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("front stream is empty")
+	}
+	for _, line := range lines {
+		var sol map[string]any
+		if err := json.Unmarshal([]byte(line), &sol); err != nil {
+			t.Fatalf("front line %q: %v", line, err)
+		}
+	}
+
+	code, list := get("/studies")
+	if code != http.StatusOK || !strings.Contains(list, `"smoke"`) {
+		t.Fatalf("list: %d %s", code, list)
+	}
+
+	// Graceful shutdown persisted a Final checkpoint next to the manifest.
+	stop()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	found := false
+	for _, n := range names {
+		if n == "smoke.study.ckpt" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no checkpoint persisted; dir holds %v", names)
+	}
+}

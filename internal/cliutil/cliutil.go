@@ -44,6 +44,22 @@ func StopOnSignals() <-chan struct{} {
 	return stop
 }
 
+// WriteReadyFile atomically publishes a small coordination file (for
+// the server binaries' -port-file flag: the bound address appears only
+// as a complete file, so a watcher never reads a torn write). The file
+// is written next to its final path and renamed into place.
+func WriteReadyFile(path, content string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(content), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
 // CheckpointFlags holds the shared -checkpoint/-resume/-checkpoint-every
 // command-line surface.
 type CheckpointFlags struct {

@@ -206,38 +206,39 @@ type health struct {
 
 // Health is a snapshot of a Problem's evaluation-supervision counters.
 // A long-running study surfaces it so operators can distinguish "clean
-// run" from "run that survived N worker faults".
+// run" from "run that survived N worker faults". The JSON field names
+// are part of the tuning service's /healthz wire format.
 type Health struct {
 	// Panics counts simulation panics recovered into errors.
-	Panics int64
+	Panics int64 `json:"panics"`
 	// Errors counts non-panic evaluation errors (scenario construction
 	// failures, injected faults).
-	Errors int64
+	Errors int64 `json:"errors"`
 	// Retries counts supervised re-attempts after a failure.
-	Retries int64
+	Retries int64 `json:"retries"`
 	// Timeouts counts attempts abandoned at the per-evaluation timeout.
-	Timeouts int64
+	Timeouts int64 `json:"timeouts"`
 	// Failures counts candidate evaluations degraded to FailedMetrics
 	// after every retry (and the serial fallback) was exhausted.
-	Failures int64
+	Failures int64 `json:"failures"`
 	// SerialFallbacks counts scenario cells that failed inside a parallel
 	// wave and were re-attempted serially.
-	SerialFallbacks int64
+	SerialFallbacks int64 `json:"serial_fallbacks"`
 	// ScreenEvals counts candidates evaluated on the ladder's cheap
 	// screening rung (committee prefix, truncated horizon).
-	ScreenEvals int64
+	ScreenEvals int64 `json:"screen_evals"`
 	// Screened counts candidates the promotion gate triaged out: their
 	// screening estimate was epsilon-dominated by the reference front, so
 	// they were never evaluated at full fidelity.
-	Screened int64
+	Screened int64 `json:"screened"`
 	// Promoted counts screened candidates that passed the gate and were
 	// re-evaluated at full fidelity.
-	Promoted int64
+	Promoted int64 `json:"promoted"`
 	// FullEvals counts full-fidelity committee evaluations across every
 	// path (serial, ladder-off batches, ladder promotions). The ladder's
 	// throughput win is this counter dropping relative to a ladder-off
 	// run of the same budget.
-	FullEvals int64
+	FullEvals int64 `json:"full_evals"`
 }
 
 // Health returns the current supervision counters.

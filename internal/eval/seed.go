@@ -1,0 +1,30 @@
+package eval
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// TrialSeed derives the RNG seed of one trial within a study from the
+// study seed and the trial id, by stable hashing (SHA-256 over a domain
+// tag and the two values, big-endian). The derivation is a pure function
+// of (study seed, trial id): which worker runs the trial, in which
+// process, after how many other trials, never changes the stream — the
+// property the tuning service's deterministic sharding is built on (an
+// N-worker study replays the exact per-trial randomness of the 1-worker
+// study, so the merged fronts are bit-identical).
+//
+// The domain tag separates trial seeds from every other seed family in
+// the repository: TrialSeed(s, 0) is unrelated to s itself, so a study's
+// committee (frozen from the study seed) never shares a stream with any
+// of its trials.
+func TrialSeed(studySeed uint64, trial int64) uint64 {
+	h := sha256.New()
+	var buf [8]byte
+	h.Write([]byte("aedb-trial-seed-v1"))
+	binary.BigEndian.PutUint64(buf[:], studySeed)
+	h.Write(buf[:])
+	binary.BigEndian.PutUint64(buf[:], uint64(trial))
+	h.Write(buf[:])
+	return binary.BigEndian.Uint64(h.Sum(nil)[:8])
+}

@@ -52,6 +52,10 @@ const (
 	// file is written but before it is renamed into place — the window an
 	// atomic checkpoint must survive a crash in.
 	SiteStudySave Site = "study.save"
+	// SiteManifestSave is the same window inside study.SaveManifest. It is
+	// a separate site so kill rules aimed at checkpoint saves don't also
+	// trip on the (much rarer) manifest writes, and vice versa.
+	SiteManifestSave Site = "study.manifest"
 )
 
 // EnvVar is the environment variable ConfigureFromEnv reads.

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"io"
 	"os"
+	"sync"
+	"syscall"
 	"testing"
 )
 
@@ -55,6 +57,41 @@ func Capture(t *testing.T, argv []string, mainFn func()) string {
 		execute(t, argv, w, devnull, mainFn)
 	}()
 	return string(<-done)
+}
+
+// Serve runs a blocking server main (one that exits on SIGINT/SIGTERM
+// via cliutil.StopOnSignals) in a background goroutine with the usual
+// argv/stream/FlagSet swap, and returns a stop function that delivers
+// SIGINT to the test process and waits for the main to return before
+// restoring the globals. Because the globals stay swapped while the
+// server runs, Serve cannot be combined with concurrent Run/Capture
+// calls in the same test binary.
+func Serve(t *testing.T, argv []string, mainFn func()) (stop func()) {
+	t.Helper()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldArgs, oldStdout, oldStderr, oldFlags := os.Args, os.Stdout, os.Stderr, flag.CommandLine
+	os.Args, os.Stdout, os.Stderr = argv, devnull, devnull
+	flag.CommandLine = flag.NewFlagSet(argv[0], flag.ExitOnError)
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		mainFn()
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			syscall.Kill(syscall.Getpid(), syscall.SIGINT)
+			r := <-done
+			os.Args, os.Stdout, os.Stderr, flag.CommandLine = oldArgs, oldStdout, oldStderr, oldFlags
+			devnull.Close()
+			if r != nil {
+				t.Fatalf("server main panicked: %v", r)
+			}
+		})
+	}
 }
 
 // execute runs mainFn with os.Args, the standard streams and

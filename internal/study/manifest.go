@@ -1,0 +1,159 @@
+package study
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"aedbmls/internal/faultinject"
+)
+
+// ManifestSchema is the on-disk manifest format version. Bump on any
+// incompatible change; LoadManifest refuses files from other versions.
+const ManifestSchema = 1
+
+// ManifestFile is the manifest's file name inside a checkpoint directory.
+const ManifestFile = "studies.json"
+
+// ManifestEntry records one study the tuning service has accepted: the
+// spec needed to rebuild it on restart, and whether the user stopped it
+// (a stopped study is restored as terminal rather than resumed).
+type ManifestEntry struct {
+	Spec    json.RawMessage `json:"spec"`
+	Stopped bool            `json:"stopped,omitempty"`
+}
+
+// Manifest is the durable registry of every study in a checkpoint
+// directory. The tuning service persists it before starting a study, so
+// a server killed at any point restarts knowing the full study set even
+// when some studies never reached their first checkpoint.
+type Manifest struct {
+	Schema   int                      `json:"schema"`
+	Studies  map[string]ManifestEntry `json:"studies"`
+	Checksum string                   `json:"checksum"`
+}
+
+// NewManifest returns an empty manifest.
+func NewManifest() *Manifest {
+	return &Manifest{Schema: ManifestSchema, Studies: make(map[string]ManifestEntry)}
+}
+
+// ManifestPath returns the manifest location for a checkpoint directory.
+func ManifestPath(dir string) string { return filepath.Join(dir, ManifestFile) }
+
+func manifestChecksum(m *Manifest) (string, error) {
+	saved := m.Checksum
+	m.Checksum = ""
+	data, err := json.Marshal(m)
+	m.Checksum = saved
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// SaveManifest writes the manifest atomically (same temp+fsync+rename
+// sequence as checkpoint Save, with its own faultinject site so kill
+// rules on study.save don't trip here).
+func SaveManifest(path string, m *Manifest) error {
+	m.Schema = ManifestSchema
+	sum, err := manifestChecksum(m)
+	if err != nil {
+		return fmt.Errorf("study: encode manifest: %v", err)
+	}
+	m.Checksum = sum
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return fmt.Errorf("study: encode manifest: %v", err)
+	}
+	data = append(data, '\n')
+	return atomicWrite(path, data, faultinject.SiteManifestSave, "manifest")
+}
+
+// LoadManifest reads and validates a manifest. A missing file is not an
+// error — it returns an empty manifest, the correct state for a fresh
+// checkpoint directory. A present-but-invalid file (truncated, unknown
+// fields, checksum mismatch, other schema) is refused, like checkpoints.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return NewManifest(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	m := &Manifest{}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(m); err != nil {
+		return nil, fmt.Errorf("study: corrupt manifest: %v", err)
+	}
+	var trailer json.RawMessage
+	if err := dec.Decode(&trailer); err == nil || !errors.Is(err, io.EOF) {
+		return nil, fmt.Errorf("study: corrupt manifest: trailing data")
+	}
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("study: manifest schema %d, this binary reads %d", m.Schema, ManifestSchema)
+	}
+	if m.Checksum == "" {
+		return nil, fmt.Errorf("study: manifest missing checksum")
+	}
+	sum, err := manifestChecksum(m)
+	if err != nil {
+		return nil, err
+	}
+	if sum != m.Checksum {
+		return nil, fmt.Errorf("study: manifest checksum mismatch (file corrupt or hand-edited)")
+	}
+	if m.Studies == nil {
+		m.Studies = make(map[string]ManifestEntry)
+	}
+	return m, nil
+}
+
+// SanitizeName validates a study name that will become part of a
+// checkpoint file path. Validation only, no mangling: a name either
+// passes through unchanged or is refused, so the name a client created
+// is exactly the name on disk and in every later request. Refused:
+// empty, longer than 64 bytes, any character outside [a-zA-Z0-9._-],
+// and a leading '.' or '-' (which would otherwise admit "..", dotfiles,
+// and flag-lookalikes).
+func SanitizeName(name string) error {
+	if name == "" {
+		return errors.New("study: empty study name")
+	}
+	if len(name) > 64 {
+		return fmt.Errorf("study: study name longer than 64 bytes (%d)", len(name))
+	}
+	if name[0] == '.' || name[0] == '-' {
+		return fmt.Errorf("study: study name %q may not start with %q", name, name[0:1])
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("study: study name %q contains %q (allowed: [a-zA-Z0-9._-])", name, name[i:i+1])
+		}
+	}
+	return nil
+}
+
+// StudyPath maps a validated study name to its checkpoint file inside
+// dir. The name is re-validated here — this is the last stop before the
+// name reaches the filesystem, so path traversal is refused even if a
+// caller skipped SanitizeName.
+func StudyPath(dir, name string) (string, error) {
+	if err := SanitizeName(name); err != nil {
+		return "", err
+	}
+	return filepath.Join(dir, name+".study.ckpt"), nil
+}

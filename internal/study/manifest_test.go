@@ -1,0 +1,125 @@
+package study
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSanitizeName is the refusal wall for study names that become
+// checkpoint file paths: traversal, separators, dotfiles and
+// flag-lookalikes must never reach the filesystem.
+func TestSanitizeName(t *testing.T) {
+	bad := []string{
+		"",
+		"..",
+		"../evil",
+		"a/b",
+		`a\b`,
+		".hidden",
+		"-flag",
+		"sp ace",
+		"semi;colon",
+		"nul\x00byte",
+		"uniécode",
+		strings.Repeat("x", 65),
+	}
+	for _, name := range bad {
+		if err := SanitizeName(name); err == nil {
+			t.Errorf("SanitizeName(%q) accepted, want refusal", name)
+		}
+		if _, err := StudyPath(t.TempDir(), name); err == nil {
+			t.Errorf("StudyPath(%q) accepted, want refusal", name)
+		}
+	}
+	good := []string{"ok", "ok-name_1.2", "A", strings.Repeat("x", 64)}
+	for _, name := range good {
+		if err := SanitizeName(name); err != nil {
+			t.Errorf("SanitizeName(%q): %v, want accept", name, err)
+		}
+	}
+}
+
+// TestStudyPathStaysInDir double-checks the property SanitizeName
+// exists for: every accepted name maps inside the checkpoint dir.
+func TestStudyPathStaysInDir(t *testing.T) {
+	dir := t.TempDir()
+	p, err := StudyPath(dir, "ok-name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(p) != dir {
+		t.Fatalf("StudyPath escaped dir: %q", p)
+	}
+	if filepath.Base(p) != "ok-name.study.ckpt" {
+		t.Fatalf("unexpected checkpoint file name %q", filepath.Base(p))
+	}
+}
+
+// TestManifestRoundTrip saves and reloads a manifest, and checks a
+// missing manifest loads as empty (the fresh-directory case).
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := ManifestPath(dir)
+
+	m, err := LoadManifest(path)
+	if err != nil {
+		t.Fatalf("missing manifest should load empty: %v", err)
+	}
+	if len(m.Studies) != 0 {
+		t.Fatalf("fresh manifest has %d studies", len(m.Studies))
+	}
+
+	m.Studies["a"] = ManifestEntry{Spec: json.RawMessage(`{"name":"a"}`)}
+	m.Studies["b"] = ManifestEntry{Spec: json.RawMessage(`{"name":"b"}`), Stopped: true}
+	if err := SaveManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Studies) != 2 || !got.Studies["b"].Stopped || got.Studies["a"].Stopped {
+		t.Fatalf("reloaded manifest wrong: %+v", got.Studies)
+	}
+	var spec struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal(got.Studies["a"].Spec, &spec); err != nil || spec.Name != "a" {
+		t.Fatalf("spec not preserved: %s (%v)", got.Studies["a"].Spec, err)
+	}
+}
+
+// TestLoadManifestRefusesCorruption mirrors the checkpoint corruption
+// wall: a torn or edited manifest must refuse to load, not half-load.
+func TestLoadManifestRefusesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := ManifestPath(dir)
+	m := NewManifest()
+	m.Studies["a"] = ManifestEntry{Spec: json.RawMessage(`{"name":"a"}`)}
+	if err := SaveManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"truncated":     data[:len(data)/2],
+		"bit flip":      append(append([]byte{}, data[:40]...), append([]byte{data[40] ^ 1}, data[41:]...)...),
+		"trailing data": append(append([]byte{}, data...), []byte("{}")...),
+		"unknown field": []byte(`{"schema":1,"studies":{},"checksum":"x","extra":1}`),
+		"wrong schema":  []byte(`{"schema":99,"studies":{},"checksum":"x"}`),
+	}
+	for name, corrupt := range cases {
+		if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadManifest(path); err == nil {
+			t.Errorf("%s: corrupt manifest loaded without error", name)
+		}
+	}
+}

@@ -124,11 +124,19 @@ func Save(path string, cp *Checkpoint) error {
 		return fmt.Errorf("study: encode checkpoint: %v", err)
 	}
 	data = append(data, '\n')
+	return atomicWrite(path, data, faultinject.SiteStudySave, "checkpoint")
+}
 
+// atomicWrite is the shared crash-safe publication sequence used by
+// checkpoint and manifest saves: temp file in the destination directory,
+// fsync, rename over the target, directory fsync. site is planted in the
+// window between data write and rename — the spot the kill/resume tests
+// crash in — and what names the artifact in error messages.
+func atomicWrite(path string, data []byte, site faultinject.Site, what string) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-")
 	if err != nil {
-		return fmt.Errorf("study: checkpoint temp file: %v", err)
+		return fmt.Errorf("study: %s temp file: %v", what, err)
 	}
 	tmpName := tmp.Name()
 	fail := func(err error) error {
@@ -137,21 +145,21 @@ func Save(path string, cp *Checkpoint) error {
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
-		return fail(fmt.Errorf("study: write checkpoint: %v", err))
+		return fail(fmt.Errorf("study: write %s: %v", what, err))
 	}
 	if err := tmp.Sync(); err != nil {
-		return fail(fmt.Errorf("study: sync checkpoint: %v", err))
+		return fail(fmt.Errorf("study: sync %s: %v", what, err))
 	}
 	if err := tmp.Close(); err != nil {
-		return fail(fmt.Errorf("study: close checkpoint: %v", err))
+		return fail(fmt.Errorf("study: close %s: %v", what, err))
 	}
-	if err := faultinject.Do(faultinject.SiteStudySave); err != nil {
+	if err := faultinject.Do(site); err != nil {
 		os.Remove(tmpName)
 		return err
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("study: publish checkpoint: %v", err)
+		return fmt.Errorf("study: publish %s: %v", what, err)
 	}
 	// Persist the rename itself. Failure here is not fatal to atomicity
 	// (the rename is already on disk or not as a unit); report it anyway.
@@ -159,7 +167,7 @@ func Save(path string, cp *Checkpoint) error {
 		serr := d.Sync()
 		d.Close()
 		if serr != nil {
-			return fmt.Errorf("study: sync checkpoint directory: %v", serr)
+			return fmt.Errorf("study: sync %s directory: %v", what, serr)
 		}
 	}
 	return nil

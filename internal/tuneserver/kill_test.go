@@ -1,0 +1,206 @@
+package tuneserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"aedbmls/internal/cliutil"
+	"aedbmls/internal/faultinject"
+	"aedbmls/internal/study"
+)
+
+// The server kill/resume wall extends the PR 6 checkpoint wall from one
+// optimizer process to the whole tuning service: a subprocess server is
+// SIGKILLed inside study.Save's crash window while running two studies,
+// the parent restarts the service on the same checkpoint directory, and
+// every study's final front must be bit-identical to an uninterrupted
+// golden run.
+
+const (
+	tunedHelperEnv = "AEDB_TUNED_HELPER" // checkpoint dir handed to the child
+	tunedPortEnv   = "AEDB_TUNED_PORT"   // file the child publishes its address in
+)
+
+// The two studies the wall runs: one per algorithm, small enough that a
+// full run is sub-second but checkpointing hits several boundaries.
+func killWallSpecs() []string {
+	return []string{
+		`{"name":"mls-a","algorithm":"mls","density":100,"seed":11,"trials":4,"committee":2,
+		  "populations":2,"pop_workers":2,"evals_per_worker":8,"reset_period":4%s}`,
+		`{"name":"nsga-b","algorithm":"nsga2","density":100,"seed":12,"trials":4,"committee":2,
+		  "pop_size":8,"evaluations":32%s}`,
+	}
+}
+
+// TestHelperTunedServe is the subprocess body for
+// TestServerKillResumeEquivalence: it serves a persistent tuning service
+// until SIGKILLed by the armed fault rule.
+func TestHelperTunedServe(t *testing.T) {
+	dir := os.Getenv(tunedHelperEnv)
+	if dir == "" {
+		t.Skip("subprocess helper for TestServerKillResumeEquivalence")
+	}
+	if _, err := faultinject.ConfigureFromEnv(); err != nil {
+		t.Fatal(err)
+	}
+	portFile := os.Getenv(tunedPortEnv)
+	err := Serve("127.0.0.1:0", Options{Dir: dir, Workers: 2}, make(chan struct{}), func(addr net.Addr) {
+		if werr := cliutil.WriteReadyFile(portFile, addr.String()); werr != nil {
+			t.Errorf("publish address: %v", werr)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// startKillableServer launches the helper subprocess with a kill rule
+// armed on the third checkpoint save and returns the base URL once the
+// child has published its address.
+func startKillableServer(t *testing.T, ctx context.Context, dir, portFile string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.CommandContext(ctx, os.Args[0], "-test.run=TestHelperTunedServe$")
+	cmd.Env = append(os.Environ(),
+		tunedHelperEnv+"="+dir,
+		tunedPortEnv+"="+portFile,
+		faultinject.EnvVar+"=site=study.save,kind=kill,after=3")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if b, err := os.ReadFile(portFile); err == nil && len(b) > 0 {
+			return cmd, "http://" + strings.TrimSpace(string(b))
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatal("helper server never published its address")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerKillResumeEquivalence: SIGKILL the server inside the
+// checkpoint save window, restart on the same directory, and require
+// every study's resumed front to match the uninterrupted golden run bit
+// for bit.
+func TestServerKillResumeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess kill/resume test")
+	}
+
+	// Golden runs: same specs, fresh in-memory service, no faults.
+	goldens := make(map[string]string)
+	for _, tmpl := range killWallSpecs() {
+		spec := fmt.Sprintf(tmpl, "")
+		front, status := runStudy(t, spec, 2)
+		goldens[status.Name] = hexFront(front)
+	}
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	cmd, base := startKillableServer(t, ctx, dir, filepath.Join(t.TempDir(), "port"))
+
+	// Register both studies paused, then release them. Creating before
+	// resuming guarantees the manifest holds both studies before the
+	// first checkpoint save can arm the kill window; once the kill
+	// fires, later requests legitimately fail with connection errors.
+	for _, tmpl := range killWallSpecs() {
+		spec := fmt.Sprintf(tmpl, `,"start_paused":true`)
+		resp, err := http.Post(base+"/studies", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatalf("create against live server: %v", err)
+		}
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create: %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	for _, name := range []string{"mls-a", "nsga-b"} {
+		resp, err := http.Post(base+"/studies/"+name+"/resume", "application/json", nil)
+		if err != nil {
+			break // server already died in the save window
+		}
+		resp.Body.Close()
+	}
+
+	// The child must die of the injected SIGKILL, not our timeout.
+	err := cmd.Wait()
+	if ctx.Err() != nil {
+		t.Fatalf("helper hit the test timeout; the armed kill never fired (%v)", err)
+	}
+	if err == nil {
+		t.Fatal("helper exited cleanly; the armed kill never fired")
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("running helper: %v", err)
+	}
+	if ws, ok := ee.Sys().(syscall.WaitStatus); !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("helper did not die of SIGKILL: %v", err)
+	}
+
+	// The crash must have left the directory mid-study: both studies
+	// registered, at least one without a Final checkpoint, and no torn
+	// files (every surviving checkpoint loads strictly).
+	m, err := study.LoadManifest(study.ManifestPath(dir))
+	if err != nil {
+		t.Fatalf("manifest did not survive the kill: %v", err)
+	}
+	if len(m.Studies) != 2 {
+		t.Fatalf("manifest lost studies: %d of 2", len(m.Studies))
+	}
+	finals := 0
+	for name := range m.Studies {
+		path, perr := study.StudyPath(dir, name)
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		cp, lerr := study.Load(path)
+		switch {
+		case errors.Is(lerr, os.ErrNotExist):
+			// Killed before this study's first save: resumes from scratch.
+		case lerr != nil:
+			t.Fatalf("study %s: surviving checkpoint is torn: %v", name, lerr)
+		case cp.Final:
+			finals++
+		}
+	}
+	if finals == len(m.Studies) {
+		t.Fatal("every study already finished; the kill fired too late to exercise resume")
+	}
+
+	// Restart the service in-process on the crashed directory and wait
+	// for every study to finish its remaining trials.
+	srv, err := New(Options{Dir: dir, Workers: 2})
+	if err != nil {
+		t.Fatalf("restart on crashed directory: %v", err)
+	}
+	defer srv.Close()
+	for _, st := range srv.List() {
+		select {
+		case <-st.Done():
+		case <-time.After(60 * time.Second):
+			t.Fatalf("study %s did not finish after restart (status %s)", st.Name(), st.Status().Status)
+		}
+		status := st.Status()
+		if status.Status != StatusDone {
+			t.Fatalf("study %s resumed to %s (error %q), want done", st.Name(), status.Status, status.Error)
+		}
+		if got := hexFront(st.Front()); got != goldens[st.Name()] {
+			t.Errorf("study %s: resumed front differs from uninterrupted golden run\ngolden:\n%s\nresumed:\n%s",
+				st.Name(), goldens[st.Name()], got)
+		}
+	}
+}
